@@ -1,0 +1,55 @@
+// Delta-stepping bucket-width sweep (the Meyer & Sanders tuning the
+// paper's introduction retells: delta must be "large enough to allow for
+// sufficient parallelism and small enough to keep the algorithm
+// work-efficient").  Too small a delta means many near-empty rounds (all
+// reorganization); too large means redundant relaxations of not-yet-settled
+// vertices.  The sweep exposes both costs: round counts on the left,
+// candidate/edge work inflation on the right.
+#include "bench_common.hpp"
+#include "graph/generators.hpp"
+#include "graph/sssp.hpp"
+
+using namespace ms;
+using namespace ms::bench;
+using namespace ms::graph;
+
+int main(int argc, char** argv) {
+  const Options opt = Options::parse(argc, argv, /*default=*/0, /*paper=*/0);
+  std::printf("== Ablation: delta-stepping bucket width ==\n");
+  std::printf("device: %s\n\n", opt.profile().name.c_str());
+
+  GenConfig gc;
+  gc.max_weight = 1000;
+  const Csr g = grid2d(64, gc);  // high diameter: the regime where
+  // over-wide deltas genuinely pay for their redundant relaxations
+  const auto ref = dijkstra(g, 0);
+  std::printf("graph: 64x64 grid, %u vertices, %llu edges, "
+              "weights 1..%u\n\n",
+              g.num_vertices, static_cast<unsigned long long>(g.num_edges()),
+              gc.max_weight);
+
+  std::printf("%8s %12s %8s %14s %16s\n", "delta", "total (ms)", "rounds",
+              "candidates", "edges relaxed");
+  for (const u32 delta : {10u, 50u, 150u, 250u, 500u, 1000u, 4000u, 100000u}) {
+    sim::Device dev(opt.profile());
+    SsspConfig cfg;
+    cfg.strategy = BucketingStrategy::kMultisplit2;
+    cfg.delta = delta;
+    const auto r = sssp_delta_stepping(dev, g, 0, cfg);
+    check(r.dist == ref, "delta sweep produced wrong distances");
+    std::printf("%8u %12.3f %8u %14llu %16llu\n", delta, r.total_ms, r.rounds,
+                static_cast<unsigned long long>(r.candidates_processed),
+                static_cast<unsigned long long>(r.edges_relaxed));
+  }
+  std::printf(
+      "\nreading the sweep: tiny deltas pay per-round reorganization\n"
+      "overhead (Dijkstra-like serialization; the steep left side), huge\n"
+      "deltas inflate candidates and edge relaxations ~3.5x (Bellman-Ford-\n"
+      "like redundant work; the right two columns).  At these scaled-down\n"
+      "graph sizes the round overhead dominates, so the time axis shows\n"
+      "only the left side of Meyer & Sanders' U -- at the paper's 4M-20M\n"
+      "edge scale the work inflation turns the right side up too.  Cheap\n"
+      "reorganization via multisplit flattens the left side, which is\n"
+      "exactly why the paper's SSSP application wants it.\n");
+  return 0;
+}

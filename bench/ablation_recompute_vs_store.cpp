@@ -1,0 +1,48 @@
+// Footnote 6 ablation: in the post-scan stage, recompute the warp
+// histograms with ballots (what the paper ships) or reload them from the
+// global histogram matrix H written by the pre-scan.  "We find that the
+// recomputation is cheaper than the cost of global store and load."
+#include "bench_common.hpp"
+
+using namespace ms;
+using namespace ms::bench;
+
+namespace {
+
+split::MultisplitResult run_direct(const Options& opt, u32 m, bool reload,
+                                   u32 trial) {
+  workload::WorkloadConfig wc;
+  wc.m = m;
+  wc.seed = trial + 11;
+  const u64 n = opt.n();
+  const auto host = workload::generate_keys(n, wc);
+  sim::Device dev(opt.profile());
+  sim::DeviceBuffer<u32> in(dev, std::span<const u32>(host)), out(dev, n);
+  split::MultisplitConfig cfg;
+  cfg.method = split::Method::kDirect;
+  cfg.items_per_thread = 1;  // footnote 6's setting: Algorithm 1 as written
+  cfg.reload_histograms = reload;
+  return split::multisplit_keys(dev, in, out, m, split::RangeBucket{m}, cfg);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = Options::parse(argc, argv, /*default=*/20, /*paper=*/25);
+  opt.print_header("Ablation: recompute vs reload histograms (footnote 6)");
+
+  std::printf("%4s %18s %18s %10s\n", "m", "recompute (ms)", "reload (ms)",
+              "winner");
+  for (const u32 m : {2u, 4u, 8u, 16u, 32u}) {
+    const Measurement recompute = measure(
+        opt, [&](u32 trial) { return run_direct(opt, m, false, trial); });
+    const Measurement reload = measure(
+        opt, [&](u32 trial) { return run_direct(opt, m, true, trial); });
+    std::printf("%4u %18.2f %18.2f %10s\n", m, recompute.total_ms,
+                reload.total_ms,
+                recompute.total_ms <= reload.total_ms ? "recompute" : "reload");
+  }
+  std::printf("\npaper: recomputation wins (footnote 6); Direct MS at one\n"
+              "item per thread, key-only.\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Section 3.4's key-value design choice: sort (label, packed key-value)
+// 64-bit payloads (what the paper ships) versus sort (label, index) and
+// permute the pairs afterward through gathers.  "The latter requires
+// non-coalesced global memory accesses and gets worse as m increases,
+// while the former reorders for better coalescing internally and scales
+// better with m."
+#include "bench_common.hpp"
+#include "primitives/radix_sort.hpp"
+
+using namespace ms;
+using namespace ms::bench;
+
+namespace {
+
+/// The index-permute variant: label + index sort, then permuted gathers.
+f64 run_index_permute(const Options& opt, u32 m, u32 trial) {
+  workload::WorkloadConfig wc;
+  wc.m = m;
+  wc.seed = trial + 21;
+  const u64 n = opt.n();
+  const auto host = workload::generate_keys(n, wc);
+  const auto vals = workload::identity_values(n);
+  sim::Device dev(opt.profile());
+  sim::DeviceBuffer<u32> kin(dev, std::span<const u32>(host));
+  sim::DeviceBuffer<u32> vin(dev, std::span<const u32>(vals));
+  sim::DeviceBuffer<u32> labels(dev, n), index(dev, n);
+  sim::DeviceBuffer<u32> kout(dev, n), vout(dev, n);
+  const u64 t0 = dev.mark();
+
+  // Labeling + index generation.
+  sim::launch_warps(dev, "label_index", ceil_div(n, kWarpSize),
+                    [&](sim::Warp& w, u64 wid) {
+    const u64 base = wid * kWarpSize;
+    const LaneMask mask = prim::detail::row_mask(base, n);
+    const auto keys = w.load(kin, base, mask);
+    w.charge(2);
+    const split::RangeBucket f{m};
+    w.store(labels, base, keys.map(f), mask);
+    LaneArray<u32> idx;
+    for (u32 lane = 0; lane < kWarpSize; ++lane)
+      idx[lane] = static_cast<u32>(base + lane);
+    w.store(index, base, idx, mask);
+  });
+  prim::sort_pairs<u32>(dev, labels, index, 0, ceil_log2(m));
+  // Permute pairs through the sorted index: the gathers are the
+  // non-coalesced part the paper warns about.
+  sim::launch_warps(dev, "permute_gather", ceil_div(n, kWarpSize),
+                    [&](sim::Warp& w, u64 wid) {
+    const u64 base = wid * kWarpSize;
+    const LaneMask mask = prim::detail::row_mask(base, n);
+    const auto src = w.load(index, base, mask);
+    LaneArray<u64> idx{};
+    for (u32 lane = 0; lane < kWarpSize; ++lane) idx[lane] = src[lane];
+    w.store(kout, base, w.gather(kin, idx, mask), mask);
+    w.store(vout, base, w.gather(vin, idx, mask), mask);
+  });
+  return dev.summary_since(t0).total_ms;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = Options::parse(argc, argv, /*default=*/20, /*paper=*/25);
+  opt.print_header(
+      "Ablation: reduced-bit sort key-value -- packed u64 vs index permute");
+
+  std::printf("%4s %18s %20s %10s\n", "m", "packed u64 (ms)",
+              "index+permute (ms)", "winner");
+  for (const u32 m : {2u, 4u, 8u, 16u, 32u, 64u, 256u}) {
+    const Measurement packed = measure(opt, [&](u32 trial) {
+      return run_multisplit(opt, split::Method::kReducedBitSort, m, true,
+                            workload::Distribution::kUniform, trial);
+    });
+    f64 permute = 0;
+    for (u32 trial = 0; trial < opt.trials; ++trial)
+      permute += run_index_permute(opt, m, trial);
+    permute = permute / opt.trials * opt.scale();
+    std::printf("%4u %18.2f %20.2f %10s\n", m, packed.total_ms, permute,
+                packed.total_ms <= permute ? "packed" : "permute");
+  }
+  std::printf("\npaper: packing wins and scales better with m.\n");
+  return 0;
+}

@@ -1,0 +1,177 @@
+// Shared machinery for the paper-reproduction benches.
+//
+// Every bench binary regenerates one table or figure of the paper.  The
+// simulator runs on a single host core, so the default problem sizes are
+// smaller than the paper's n = 2^25; measured times are reported both raw
+// and linearly rescaled to the paper's element count (the cost model is
+// linear in n up to kernel-launch constants -- a property the test suite
+// checks).  Pass `--n <log2>` to change the size, `--full` for the paper's
+// exact sizes (slow on one core), `--device k40c|750ti` to switch device
+// profiles, and `--trials <k>` to average over several input seeds.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "multisplit/multisplit.hpp"
+#include "workload/distributions.hpp"
+
+namespace ms::bench {
+
+struct Options {
+  u32 log2_n;
+  u32 paper_log2_n;
+  std::string device = "k40c";
+  u32 trials = 1;
+  bool full = false;
+
+  static Options parse(int argc, char** argv, u32 default_log2_n,
+                       u32 paper_log2_n) {
+    Options o;
+    o.log2_n = default_log2_n;
+    o.paper_log2_n = paper_log2_n;
+    for (int i = 1; i < argc; ++i) {
+      if (!std::strcmp(argv[i], "--n") && i + 1 < argc) {
+        o.log2_n = static_cast<u32>(std::atoi(argv[++i]));
+      } else if (!std::strcmp(argv[i], "--full")) {
+        o.full = true;
+        o.log2_n = paper_log2_n;
+      } else if (!std::strcmp(argv[i], "--device") && i + 1 < argc) {
+        o.device = argv[++i];
+      } else if (!std::strcmp(argv[i], "--trials") && i + 1 < argc) {
+        o.trials = static_cast<u32>(std::atoi(argv[++i]));
+      } else if (!std::strcmp(argv[i], "--help")) {
+        std::printf(
+            "usage: %s [--n <log2 elements>] [--full] "
+            "[--device k40c|750ti] [--trials k]\n",
+            argv[0]);
+        std::exit(0);
+      }
+    }
+    return o;
+  }
+
+  u64 n() const { return u64{1} << log2_n; }
+
+  /// Linear rescale from the measured size to the paper's size.
+  f64 scale() const {
+    return std::ldexp(1.0, static_cast<int>(paper_log2_n) -
+                               static_cast<int>(log2_n));
+  }
+
+  sim::DeviceProfile profile() const {
+    if (device == "750ti" || device == "gtx750ti")
+      return sim::DeviceProfile::gtx_750_ti();
+    if (device == "sol") return sim::DeviceProfile::speed_of_light();
+    return sim::DeviceProfile::tesla_k40c();
+  }
+
+  void print_header(const char* what) const {
+    std::printf("== %s ==\n", what);
+    std::printf(
+        "device: %s | n = 2^%u (%llu keys) | times rescaled x%.0f to the "
+        "paper's n = 2^%u | trials = %u\n\n",
+        profile().name.c_str(), log2_n, static_cast<unsigned long long>(n()),
+        scale(), paper_log2_n, trials);
+  }
+};
+
+/// One multisplit measurement, averaged over `trials` input seeds.
+struct Measurement {
+  split::StageTimings stages;  // already rescaled to the paper's n
+  f64 total_ms = 0.0;          // rescaled
+  f64 rate_gkeys = 0.0;        // at the paper's n
+};
+
+template <typename Runner>
+Measurement measure(const Options& opt, Runner&& run_once) {
+  Measurement m;
+  f64 kernels = 0;
+  for (u32 t = 0; t < opt.trials; ++t) {
+    const split::MultisplitResult r = run_once(t);
+    m.stages.prescan_ms += r.stages.prescan_ms;
+    m.stages.scan_ms += r.stages.scan_ms;
+    m.stages.postscan_ms += r.stages.postscan_ms;
+    kernels += static_cast<f64>(r.summary.kernels);
+  }
+  m.stages.prescan_ms /= opt.trials;
+  m.stages.scan_ms /= opt.trials;
+  m.stages.postscan_ms /= opt.trials;
+  kernels /= opt.trials;
+
+  // Launch-aware rescaling: kernel-launch overhead is a fixed cost per
+  // kernel (the kernel *count* does not grow with n), so scaling it
+  // linearly with the per-element work would distort small-n measurements.
+  // scaled = (measured - launches) * scale + launches.
+  const f64 launch_ms = kernels * opt.profile().kernel_launch_us * 1e-3;
+  const f64 raw_total = m.stages.total();
+  const f64 scaled_total =
+      std::max(raw_total, (raw_total - launch_ms) * opt.scale() + launch_ms);
+  const f64 ratio = raw_total > 0 ? scaled_total / raw_total : 1.0;
+  m.stages.prescan_ms *= ratio;
+  m.stages.scan_ms *= ratio;
+  m.stages.postscan_ms *= ratio;
+  m.total_ms = m.stages.total();
+  const f64 paper_n = std::ldexp(1.0, static_cast<int>(opt.paper_log2_n));
+  m.rate_gkeys = paper_n / (m.total_ms * 1e-3) / 1e9;
+  return m;
+}
+
+/// Run one multisplit (key-only or key-value) on a fresh device.
+inline split::MultisplitResult run_multisplit(
+    const Options& opt, split::Method method, u32 m, bool key_value,
+    workload::Distribution dist = workload::Distribution::kUniform,
+    u64 seed_salt = 0, u32 warps_per_block = 8) {
+  workload::WorkloadConfig wc;
+  wc.dist = dist;
+  wc.m = m;
+  wc.seed = 0xABCDE + seed_salt * 7919;
+  const u64 n = opt.n();
+  const auto host = workload::generate_keys(n, wc);
+  sim::Device dev(opt.profile());
+  sim::DeviceBuffer<u32> in(dev, std::span<const u32>(host)), out(dev, n);
+  split::MultisplitConfig cfg;
+  cfg.method = method;
+  cfg.warps_per_block = warps_per_block;
+  if (!key_value) {
+    return split::multisplit_keys(dev, in, out, m, split::RangeBucket{m}, cfg);
+  }
+  const auto vals = workload::identity_values(n);
+  sim::DeviceBuffer<u32> vin(dev, std::span<const u32>(vals));
+  sim::DeviceBuffer<u32> kout(dev, n), vout(dev, n);
+  return split::multisplit_pairs(dev, in, vin, kout, vout, m,
+                                 split::RangeBucket{m}, cfg);
+}
+
+/// Full radix sort baseline (Table 3 / Table 6 denominator).
+inline split::MultisplitResult run_radix_baseline(const Options& opt, u32 m,
+                                                  bool key_value,
+                                                  u64 seed_salt = 0) {
+  workload::WorkloadConfig wc;
+  wc.m = m;
+  wc.seed = 0xFACE + seed_salt * 104729;
+  const u64 n = opt.n();
+  const auto host = workload::generate_keys(n, wc);
+  sim::Device dev(opt.profile());
+  sim::DeviceBuffer<u32> in(dev, std::span<const u32>(host)), out(dev, n);
+  if (!key_value) {
+    return split::radix_sort_multisplit_keys(dev, in, out, m,
+                                             split::RangeBucket{m});
+  }
+  const auto vals = workload::identity_values(n);
+  sim::DeviceBuffer<u32> vin(dev, std::span<const u32>(vals));
+  sim::DeviceBuffer<u32> kout(dev, n), vout(dev, n);
+  return split::radix_sort_multisplit_pairs(dev, in, vin, kout, vout, m,
+                                            split::RangeBucket{m});
+}
+
+inline f64 geomean(const std::vector<f64>& xs) {
+  f64 acc = 0.0;
+  for (f64 x : xs) acc += std::log(x);
+  return std::exp(acc / static_cast<f64>(xs.size()));
+}
+
+}  // namespace ms::bench

@@ -1,0 +1,100 @@
+// google-benchmark microbenchmarks of the substrate primitives.
+//
+// Two kinds of numbers appear here: wall-clock time of the *simulator*
+// (how fast this library simulates -- useful for sizing experiments), and
+// the modeled device time exposed as the "sim_ms" counter (the number the
+// paper-reproduction benches report).  The modeled throughput in
+// Gkeys/s is reported as "sim_gkeys".
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "primitives/primitives.hpp"
+
+using namespace ms;
+
+namespace {
+
+void BM_DeviceScan(benchmark::State& state) {
+  const u64 n = static_cast<u64>(state.range(0));
+  workload::WorkloadConfig wc;
+  const auto host = workload::generate_keys(n, wc);
+  f64 sim_ms = 0;
+  for (auto _ : state) {
+    sim::Device dev;
+    sim::DeviceBuffer<u32> in(dev, std::span<const u32>(host)), out(dev, n);
+    prim::exclusive_scan<u32>(dev, in, out);
+    sim_ms = dev.total_ms();
+    benchmark::DoNotOptimize(out[n - 1]);
+  }
+  state.counters["sim_ms"] = sim_ms;
+  state.counters["sim_gkeys"] = static_cast<f64>(n) / (sim_ms * 1e6);
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_DeviceScan)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_RadixSort(benchmark::State& state) {
+  const u64 n = static_cast<u64>(state.range(0));
+  workload::WorkloadConfig wc;
+  const auto host = workload::generate_keys(n, wc);
+  f64 sim_ms = 0;
+  for (auto _ : state) {
+    sim::Device dev;
+    sim::DeviceBuffer<u32> keys(dev, std::span<const u32>(host));
+    prim::sort_keys(dev, keys);
+    sim_ms = dev.total_ms();
+    benchmark::DoNotOptimize(keys[0]);
+  }
+  state.counters["sim_ms"] = sim_ms;
+  state.counters["sim_gkeys"] = static_cast<f64>(n) / (sim_ms * 1e6);
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_RadixSort)->Arg(1 << 16)->Arg(1 << 18);
+
+void BM_Multisplit(benchmark::State& state) {
+  const u64 n = u64{1} << 18;
+  const u32 m = static_cast<u32>(state.range(0));
+  const auto method = static_cast<split::Method>(state.range(1));
+  workload::WorkloadConfig wc;
+  wc.m = m;
+  const auto host = workload::generate_keys(n, wc);
+  f64 sim_ms = 0;
+  for (auto _ : state) {
+    sim::Device dev;
+    sim::DeviceBuffer<u32> in(dev, std::span<const u32>(host)), out(dev, n);
+    split::MultisplitConfig cfg;
+    cfg.method = method;
+    const auto r =
+        split::multisplit_keys(dev, in, out, m, split::RangeBucket{m}, cfg);
+    sim_ms = r.total_ms();
+    benchmark::DoNotOptimize(out[0]);
+  }
+  state.counters["sim_ms"] = sim_ms;
+  state.counters["sim_gkeys"] = static_cast<f64>(n) / (sim_ms * 1e6);
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_Multisplit)
+    ->ArgsProduct({{2, 8, 32},
+                   {static_cast<long>(split::Method::kDirect),
+                    static_cast<long>(split::Method::kWarpLevel),
+                    static_cast<long>(split::Method::kBlockLevel)}});
+
+void BM_WarpHistogram(benchmark::State& state) {
+  const u32 m = static_cast<u32>(state.range(0));
+  sim::Device dev;
+  dev.begin_kernel("bench");
+  sim::Warp w(dev, 0);
+  LaneArray<u32> buckets;
+  std::mt19937 rng(1);
+  for (u32 i = 0; i < kWarpSize; ++i) buckets[i] = rng() % m;
+  for (auto _ : state) {
+    auto h = prim::warp_histogram(w, buckets, m);
+    benchmark::DoNotOptimize(h[0]);
+  }
+  dev.end_kernel();
+  state.SetItemsProcessed(state.iterations() * kWarpSize);
+}
+BENCHMARK(BM_WarpHistogram)->Arg(2)->Arg(8)->Arg(32);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,51 @@
+// Figure 3: average running time versus number of buckets (m = 1..32) for
+// Direct, Warp-level, Block-level multisplit and the reduced-bit sort,
+// key-only (3a) and key-value (3b).  Output is a plottable series table.
+#include "bench_common.hpp"
+
+using namespace ms;
+using namespace ms::bench;
+
+int main(int argc, char** argv) {
+  const Options opt = Options::parse(argc, argv, /*default=*/20, /*paper=*/25);
+  opt.print_header("Figure 3: running time (ms) vs number of buckets");
+
+  const struct {
+    const char* name;
+    split::Method method;
+  } methods[] = {
+      {"direct", split::Method::kDirect},
+      {"warp", split::Method::kWarpLevel},
+      {"block", split::Method::kBlockLevel},
+      {"reduced_bit", split::Method::kReducedBitSort},
+  };
+
+  for (int kv = 0; kv < 2; ++kv) {
+    std::printf("--- %s ---\n", kv ? "key-value (Fig. 3b)" : "key-only (Fig. 3a)");
+    std::printf("%4s %10s %10s %10s %12s   %s\n", "m", "direct", "warp",
+                "block", "reduced_bit", "fastest");
+    for (u32 m = 1; m <= 32; ++m) {
+      f64 best = 1e30;
+      const char* best_name = "";
+      f64 t[4];
+      for (int j = 0; j < 4; ++j) {
+        const Measurement meas = measure(opt, [&](u32 trial) {
+          return run_multisplit(opt, methods[j].method, m, kv != 0,
+                                workload::Distribution::kUniform, trial);
+        });
+        t[j] = meas.total_ms;
+        if (t[j] < best) {
+          best = t[j];
+          best_name = methods[j].name;
+        }
+      }
+      std::printf("%4u %10.2f %10.2f %10.2f %12.2f   %s\n", m, t[0], t[1],
+                  t[2], t[3], best_name);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "paper shape: warp-level fastest at small m, block-level best at large m\n"
+      "(crossovers at m ~ 6 and ~ 22 key-only; ~5 and ~16 key-value).\n");
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Table 3: average running time and processing rate of the common
+// approaches -- full radix sort and the scan-based split -- for two
+// uniformly distributed buckets, key-only and key-value.
+#include "bench_common.hpp"
+
+using namespace ms;
+using namespace ms::bench;
+
+int main(int argc, char** argv) {
+  const Options opt = Options::parse(argc, argv, /*default=*/20, /*paper=*/25);
+  opt.print_header("Table 3: common approaches, 2 uniform buckets");
+
+  struct Row {
+    const char* name;
+    split::Method method;
+    bool radix;
+    bool kv;
+    f64 paper_ms;
+    f64 paper_rate;
+  };
+  const Row rows[] = {
+      {"Radix sort (key-only)", split::Method::kScanSplit, true, false, 22.36, 1.50},
+      {"Radix sort (key-value)", split::Method::kScanSplit, true, true, 37.36, 0.90},
+      {"Scan-based split (key-only)", split::Method::kScanSplit, false, false, 5.55, 6.05},
+      {"Scan-based split (key-value)", split::Method::kScanSplit, false, true, 6.96, 4.82},
+  };
+
+  std::printf("%-30s %14s %18s %12s %14s\n", "Method", "avg time (ms)",
+              "rate (Gkeys/s)", "paper (ms)", "paper (Gk/s)");
+  for (const Row& row : rows) {
+    const Measurement m = measure(opt, [&](u32 trial) {
+      if (row.radix) return run_radix_baseline(opt, 2, row.kv, trial);
+      return run_multisplit(opt, row.method, 2, row.kv,
+                            workload::Distribution::kUniform, trial);
+    });
+    std::printf("%-30s %14.2f %18.2f %12.2f %14.2f\n", row.name, m.total_ms,
+                m.rate_gkeys, row.paper_ms, row.paper_rate);
+  }
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Table 4: per-stage running time of every method for m in {2, 8, 32},
+// key-only and key-value -- pre-scan/scan/post-scan for the proposed
+// methods, labeling/sorting/(un)packing for the reduced-bit sort,
+// labeling/scan/splitting for the recursive scan-based split (both the real
+// recursion and the paper's idealized log2(m) lower bound), and the
+// identity-buckets radix sort of Section 3.1.
+#include "bench_common.hpp"
+
+using namespace ms;
+using namespace ms::bench;
+
+namespace {
+
+struct PaperRef {
+  f64 pre, scan, post;
+};
+
+// Paper Table 4 totals for the caption line (key-only / key-value at
+// m = 2, 8, 32), used purely for side-by-side display.
+void print_method_block(const Options& opt, const char* name,
+                        split::Method method, bool kv,
+                        const PaperRef paper[3]) {
+  static const u32 kBuckets[3] = {2, 8, 32};
+  for (int i = 0; i < 3; ++i) {
+    const u32 m = kBuckets[i];
+    const Measurement meas = measure(opt, [&](u32 trial) {
+      return run_multisplit(opt, method, m, kv,
+                            workload::Distribution::kUniform, trial);
+    });
+    std::printf(
+        "%-22s %-4s m=%-3u  %7.2f %7.2f %7.2f | total %7.2f   (paper "
+        "%5.2f %5.2f %5.2f | %6.2f)\n",
+        name, kv ? "kv" : "key", m, meas.stages.prescan_ms,
+        meas.stages.scan_ms, meas.stages.postscan_ms, meas.total_ms,
+        paper[i].pre, paper[i].scan, paper[i].post,
+        paper[i].pre + paper[i].scan + paper[i].post);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = Options::parse(argc, argv, /*default=*/20, /*paper=*/25);
+  opt.print_header(
+      "Table 4: stage breakdown (pre-scan | scan | post-scan), ms");
+
+  // Paper reference values: {pre, scan, post} per m in {2, 8, 32}.
+  const PaperRef direct_key[3] = {{1.32, 0.12, 2.31}, {1.49, 0.39, 2.98}, {2.19, 1.48, 4.92}};
+  const PaperRef direct_kv[3] = {{1.32, 0.12, 3.36}, {1.49, 0.39, 4.06}, {2.19, 1.48, 11.97}};
+  const PaperRef warp_key[3] = {{1.32, 0.12, 1.91}, {1.49, 0.39, 2.99}, {2.19, 1.47, 5.44}};
+  const PaperRef warp_kv[3] = {{1.32, 0.12, 3.27}, {1.49, 0.40, 4.34}, {2.19, 1.47, 10.56}};
+  const PaperRef block_key[3] = {{1.59, 0.03, 3.70}, {1.58, 0.07, 4.30}, {1.88, 0.21, 5.35}};
+  const PaperRef block_kv[3] = {{1.59, 0.03, 4.41}, {1.58, 0.07, 5.13}, {1.88, 0.21, 6.44}};
+  const PaperRef rbs_key[3] = {{2.07, 5.01, 0.0}, {2.07, 5.22, 0.0}, {2.07, 6.60, 0.0}};
+  const PaperRef rbs_kv[3] = {{2.07, 5.94, 5.66}, {2.07, 6.33, 5.66}, {2.07, 10.49, 5.66}};
+  const PaperRef rss_key[3] = {{1.54, 1.47, 2.54}, {4.62, 4.41, 7.62}, {7.70, 7.35, 12.7}};
+  const PaperRef rss_kv[3] = {{1.54, 1.47, 3.95}, {4.62, 4.41, 11.85}, {7.70, 7.35, 19.75}};
+
+  print_method_block(opt, "Direct MS", split::Method::kDirect, false, direct_key);
+  print_method_block(opt, "Direct MS", split::Method::kDirect, true, direct_kv);
+  print_method_block(opt, "Warp-level MS", split::Method::kWarpLevel, false, warp_key);
+  print_method_block(opt, "Warp-level MS", split::Method::kWarpLevel, true, warp_kv);
+  print_method_block(opt, "Block-level MS", split::Method::kBlockLevel, false, block_key);
+  print_method_block(opt, "Block-level MS", split::Method::kBlockLevel, true, block_kv);
+  std::printf("\n(stages below: labeling | sorting | (un)packing)\n");
+  print_method_block(opt, "Reduced-bit sort", split::Method::kReducedBitSort, false, rbs_key);
+  print_method_block(opt, "Reduced-bit sort", split::Method::kReducedBitSort, true, rbs_kv);
+  std::printf("\n(stages below: labeling | scan | splitting; paper reports\n"
+              " log2(m) x single-split as an ideal lower bound -- we run the\n"
+              " real recursion)\n");
+  print_method_block(opt, "Recursive scan split", split::Method::kRecursiveScanSplit, false, rss_key);
+  print_method_block(opt, "Recursive scan split", split::Method::kRecursiveScanSplit, true, rss_kv);
+
+  // Last row: radix sort on the trivial identity-buckets case, key-only
+  // sorts ceil(log2 m) bits (paper: 2.62 / 2.68 / 4.20 key, 5.01/5.22/6.60 kv).
+  std::printf("\nSort on identity buckets (ceil(log2 m)-bit radix sort):\n");
+  const f64 paper_idk[3] = {2.62, 2.68, 4.20};
+  const f64 paper_idv[3] = {5.01, 5.22, 6.60};
+  const u32 kBuckets[3] = {2, 8, 32};
+  for (int kv = 0; kv < 2; ++kv) {
+    for (int i = 0; i < 3; ++i) {
+      const u32 m = kBuckets[i];
+      f64 total = 0;
+      for (u32 trial = 0; trial < opt.trials; ++trial) {
+        workload::WorkloadConfig wc;
+        wc.dist = workload::Distribution::kIdentity;
+        wc.m = m;
+        wc.seed = trial + 1;
+        const u64 n = opt.n();
+        const auto host = workload::generate_keys(n, wc);
+        sim::Device dev(opt.profile());
+        sim::DeviceBuffer<u32> in(dev, std::span<const u32>(host)), out(dev, n);
+        split::MultisplitResult r;
+        if (kv) {
+          const auto vals = workload::identity_values(n);
+          sim::DeviceBuffer<u32> vin(dev, std::span<const u32>(vals));
+          sim::DeviceBuffer<u32> kout(dev, n), vout(dev, n);
+          r = split::radix_sort_multisplit_pairs(dev, in, vin, kout, vout, m,
+                                                 split::IdentityBucket{},
+                                                 ceil_log2(m));
+        } else {
+          r = split::radix_sort_multisplit_keys(dev, in, out, m,
+                                                split::IdentityBucket{},
+                                                ceil_log2(m));
+        }
+        total += r.total_ms();
+      }
+      std::printf("%-22s %-4s m=%-3u  total %7.2f   (paper %6.2f)\n",
+                  "Identity-bucket sort", kv ? "kv" : "key", m,
+                  total / opt.trials * opt.scale(),
+                  kv ? paper_idv[i] : paper_idk[i]);
+    }
+  }
+  return 0;
+}

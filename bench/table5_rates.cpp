@@ -1,0 +1,62 @@
+// Table 5: processing rates (G keys/s) of the proposed methods and the
+// reduced-bit sort for m in {2, 4, 8, 16, 32}, key-only and key-value,
+// plus the paper's Section 6.2.2 "speed of light" analysis: 3 global
+// accesses per key (5 for pairs) at peak bandwidth.
+#include "bench_common.hpp"
+
+using namespace ms;
+using namespace ms::bench;
+
+int main(int argc, char** argv) {
+  const Options opt = Options::parse(argc, argv, /*default=*/20, /*paper=*/25);
+  opt.print_header("Table 5: processing rate, G keys/s");
+
+  const sim::DeviceProfile prof = opt.profile();
+  const f64 sol_key = prof.mem_bandwidth_gbps / (3.0 * 4.0);
+  const f64 sol_kv = prof.mem_bandwidth_gbps / (5.0 * 4.0);
+  std::printf(
+      "speed of light on %s: %.1f Gkeys/s key-only, %.1f Gkeys/s key-value\n"
+      "(paper, K40c: 24.0 and 14.4)\n\n",
+      prof.name.c_str(), sol_key, sol_kv);
+
+  struct MethodRow {
+    const char* name;
+    split::Method method;
+    // Paper rates for key-only / key-value at m = 2,4,8,16,32 (K40c).
+    f64 paper_key[5];
+    f64 paper_kv[5];
+  };
+  const MethodRow methods[] = {
+      {"Direct MS", split::Method::kDirect,
+       {8.95, 7.88, 6.92, 5.51, 3.91}, {7.00, 6.06, 5.66, 4.19, 2.15}},
+      {"Warp-level MS", split::Method::kWarpLevel,
+       {10.04, 8.23, 6.90, 5.14, 3.69}, {7.14, 6.31, 5.40, 3.86, 2.36}},
+      {"Block-level MS", split::Method::kBlockLevel,
+       {6.29, 5.84, 5.64, 4.95, 4.51}, {5.56, 5.11, 4.95, 4.50, 3.93}},
+      {"Reduced-bit sort", split::Method::kReducedBitSort,
+       {4.64, 4.60, 4.51, 4.34, 3.85}, {2.46, 2.44, 2.39, 2.13, 1.84}},
+  };
+  const u32 buckets[] = {2, 4, 8, 16, 32};
+
+  for (int kv = 0; kv < 2; ++kv) {
+    std::printf("--- %s ---\n", kv ? "key-value" : "key-only");
+    std::printf("%-18s %28s %40s\n", "", "measured (m=2,4,8,16,32)",
+                "paper");
+    for (const auto& row : methods) {
+      std::printf("%-18s ", row.name);
+      for (const u32 m : buckets) {
+        const Measurement meas = measure(opt, [&](u32 trial) {
+          return run_multisplit(opt, row.method, m, kv != 0,
+                                workload::Distribution::kUniform, trial);
+        });
+        std::printf("%6.2f", meas.rate_gkeys);
+      }
+      std::printf("   |");
+      for (int i = 0; i < 5; ++i)
+        std::printf("%6.2f", kv ? row.paper_kv[i] : row.paper_key[i]);
+      std::printf("\n");
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

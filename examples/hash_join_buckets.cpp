@@ -1,0 +1,81 @@
+// Hash-join partitioning (one of the paper's motivating applications,
+// after He et al. / Diamos et al.: "in hash-join for relational databases
+// to group low-bit keys").
+//
+// Both relations are partitioned by the low bits of the join key with one
+// key-value multisplit each (value = row id); matching partitions are then
+// joined independently -- the classic partitioned hash join, with the
+// partitioning pass powered by multisplit instead of a sort.
+//
+//   $ ./hash_join_buckets
+#include <cstdio>
+#include <random>
+#include <unordered_map>
+
+#include "multisplit/multisplit.hpp"
+
+using namespace ms;
+
+int main() {
+  sim::Device dev;
+  const u64 nr = 1u << 19;  // build relation R
+  const u64 ns = 1u << 20;  // probe relation S
+  const u32 kBits = 4;      // 16 partitions
+  const u32 m = 1u << kBits;
+
+  std::mt19937_64 rng(123);
+  sim::DeviceBuffer<u32> r_keys(dev, nr), r_ids(dev, nr);
+  sim::DeviceBuffer<u32> s_keys(dev, ns), s_ids(dev, ns);
+  for (u64 i = 0; i < nr; ++i) {
+    r_keys[i] = static_cast<u32>(rng() % (1u << 22));  // some join hits
+    r_ids[i] = static_cast<u32>(i);
+  }
+  for (u64 i = 0; i < ns; ++i) {
+    s_keys[i] = static_cast<u32>(rng() % (1u << 22));
+    s_ids[i] = static_cast<u32>(i);
+  }
+
+  split::MultisplitConfig cfg;
+  cfg.method = split::Method::kBlockLevel;  // 16 buckets: block-level wins
+  const split::LowBitsBucket part{kBits};
+
+  sim::DeviceBuffer<u32> rk(dev, nr), ri(dev, nr), sk(dev, ns), si(dev, ns);
+  const auto pr =
+      split::multisplit_pairs(dev, r_keys, r_ids, rk, ri, m, part, cfg);
+  const auto ps =
+      split::multisplit_pairs(dev, s_keys, s_ids, sk, si, m, part, cfg);
+
+  std::printf("partitioned R (%llu rows) and S (%llu rows) into %u buckets "
+              "in %.3f + %.3f ms (simulated K40c)\n\n",
+              static_cast<unsigned long long>(nr),
+              static_cast<unsigned long long>(ns), m, pr.total_ms(),
+              ps.total_ms());
+
+  // Join each partition pair (host-side hash join stands in for the
+  // per-partition GPU kernel; the point of the example is the partitioning).
+  u64 matches = 0;
+  for (u32 b = 0; b < m; ++b) {
+    std::unordered_multimap<u32, u32> build;
+    for (u32 i = pr.bucket_offsets[b]; i < pr.bucket_offsets[b + 1]; ++i)
+      build.emplace(rk[i], ri[i]);
+    for (u32 i = ps.bucket_offsets[b]; i < ps.bucket_offsets[b + 1]; ++i) {
+      matches += build.count(sk[i]);
+    }
+    std::printf("  partition %2u: |R|=%6u |S|=%7u\n", b,
+                pr.bucket_offsets[b + 1] - pr.bucket_offsets[b],
+                ps.bucket_offsets[b + 1] - ps.bucket_offsets[b]);
+  }
+
+  // Reference join count without partitioning.
+  u64 want = 0;
+  {
+    std::unordered_multimap<u32, u32> build;
+    for (u64 i = 0; i < nr; ++i) build.emplace(r_keys[i], 0u);
+    for (u64 i = 0; i < ns; ++i) want += build.count(s_keys[i]);
+  }
+  std::printf("\njoin result: %llu matches (reference %llu) -- %s\n",
+              static_cast<unsigned long long>(matches),
+              static_cast<unsigned long long>(want),
+              matches == want ? "correct" : "WRONG");
+  return matches == want ? 0 : 1;
+}

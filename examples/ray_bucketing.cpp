@@ -1,0 +1,85 @@
+// Ray-direction bucketing (one of the paper's motivating applications:
+// "reorganizing rays into 8 direction-based buckets for better coherence
+// in a GPU-based ray tracer").
+//
+// Rays are packed as 32-bit records whose top bits encode the direction
+// signs; the bucket function extracts the direction octant.  A key-value
+// multisplit groups coherent rays while carrying each ray's id, so the
+// tracer can fetch the full ray payload bucket by bucket.
+//
+//   $ ./ray_bucketing
+#include <cmath>
+#include <cstdio>
+#include <random>
+
+#include "multisplit/multisplit.hpp"
+
+using namespace ms;
+
+namespace {
+
+/// Pack a direction into a sortable 32-bit key: 3 sign bits (the octant)
+/// on top, then a coarse dominant-axis cosine for intra-bucket reuse.
+u32 pack_ray_key(f64 dx, f64 dy, f64 dz) {
+  const u32 octant = (dx < 0 ? 4u : 0u) | (dy < 0 ? 2u : 0u) | (dz < 0 ? 1u : 0u);
+  const f64 len = std::sqrt(dx * dx + dy * dy + dz * dz);
+  const f64 major = std::max({std::fabs(dx), std::fabs(dy), std::fabs(dz)});
+  const u32 cosine = static_cast<u32>(major / len * ((1u << 29) - 1));
+  return (octant << 29) | cosine;
+}
+
+struct OctantBucket {
+  u32 operator()(u32 key) const { return key >> 29; }
+  static constexpr u32 charge_cost = 1;
+};
+
+}  // namespace
+
+int main() {
+  sim::Device dev;
+  const u64 n = 1u << 19;  // half a million rays
+
+  // Generate incoherent secondary rays (uniform directions on the sphere).
+  sim::DeviceBuffer<u32> ray_keys(dev, n), ray_ids(dev, n);
+  std::mt19937_64 rng(7);
+  std::normal_distribution<f64> gauss;
+  for (u64 i = 0; i < n; ++i) {
+    ray_keys[i] = pack_ray_key(gauss(rng), gauss(rng), gauss(rng));
+    ray_ids[i] = static_cast<u32>(i);
+  }
+
+  sim::DeviceBuffer<u32> keys_out(dev, n), ids_out(dev, n);
+  split::MultisplitConfig cfg;
+  cfg.method = split::Method::kWarpLevel;  // 8 buckets: warp-level territory
+  const auto r = split::multisplit_pairs(dev, ray_keys, ray_ids, keys_out,
+                                         ids_out, 8, OctantBucket{}, cfg);
+
+  std::printf("bucketed %llu rays into 8 direction octants in %.3f ms "
+              "(%.2f Grays/s, simulated K40c)\n\n",
+              static_cast<unsigned long long>(n), r.total_ms(),
+              static_cast<f64>(n) / (r.total_ms() * 1e6));
+  static const char* kNames[8] = {"+x+y+z", "+x+y-z", "+x-y+z", "+x-y-z",
+                                  "-x+y+z", "-x+y-z", "-x-y+z", "-x-y-z"};
+  for (u32 b = 0; b < 8; ++b) {
+    std::printf("  octant %s: %6u rays\n", kNames[b],
+                r.bucket_offsets[b + 1] - r.bucket_offsets[b]);
+  }
+
+  // Every octant's rays are now contiguous: a tracer batches them with
+  // coherent traversal.  Verify the grouping and that ids follow their rays.
+  const OctantBucket f;
+  for (u64 i = 0; i < n; ++i) {
+    if (keys_out[i] != ray_keys[ids_out[i]]) {
+      std::printf("ERROR: ray id desynchronized at %llu\n",
+                  static_cast<unsigned long long>(i));
+      return 1;
+    }
+    const u32 b = f(keys_out[i]);
+    if (i < r.bucket_offsets[b] || i >= r.bucket_offsets[b + 1]) {
+      std::printf("ERROR: ray outside its octant range\n");
+      return 1;
+    }
+  }
+  std::printf("\nverified: rays grouped by octant, ids intact.\n");
+  return 0;
+}

@@ -1,0 +1,49 @@
+// The application that motivated the paper (Section 1 / footnote 1):
+// delta-stepping single-source shortest paths, whose per-iteration bucket
+// reorganization was 82% of Davidson et al.'s runtime when done with a
+// sort.  This example runs SSSP on an R-MAT graph with all four bucketing
+// backends and validates against serial Dijkstra.
+//
+//   $ ./sssp_delta_stepping
+#include <cstdio>
+
+#include "graph/generators.hpp"
+#include "graph/sssp.hpp"
+
+using namespace ms;
+using namespace ms::graph;
+
+int main() {
+  // A Graph500-style R-MAT graph: skewed degrees, low diameter.
+  GenConfig gc;
+  gc.max_weight = 1000;
+  const Csr g = rmat(/*scale=*/13, /*edges=*/80000, gc);
+  std::printf("graph: R-MAT, %u vertices, %llu edges\n", g.num_vertices,
+              static_cast<unsigned long long>(g.num_edges()));
+
+  const auto reference = dijkstra(g, 0);
+  std::printf("serial Dijkstra reference: max finite distance = %u\n\n",
+              max_finite_distance(reference));
+
+  for (const auto strategy :
+       {BucketingStrategy::kRadixSort, BucketingStrategy::kNearFar,
+        BucketingStrategy::kMultisplit2, BucketingStrategy::kMultisplit10}) {
+    sim::Device dev;
+    SsspConfig cfg;
+    cfg.strategy = strategy;
+    const auto r = sssp_delta_stepping(dev, g, /*source=*/0, cfg);
+    const bool ok = (r.dist == reference);
+    std::printf(
+        "%-26s %9.3f ms | reorg %6.3f ms (%4.1f%%) | expand %6.3f ms | "
+        "%4u rounds | %s\n",
+        to_string(strategy).c_str(), r.total_ms, r.reorg_ms,
+        100.0 * r.reorg_ms / r.total_ms, r.expand_ms, r.rounds,
+        ok ? "distances match Dijkstra" : "WRONG DISTANCES");
+    if (!ok) return 1;
+  }
+  std::printf(
+      "\nThe multisplit backends spend far less of the run reorganizing the\n"
+      "candidate pool -- exactly the bottleneck the paper was written to\n"
+      "remove (footnote 1: 1.3x over Near-Far, 2.1x over sort bucketing).\n");
+  return 0;
+}

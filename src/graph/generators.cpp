@@ -1,0 +1,112 @@
+#include "graph/generators.hpp"
+
+#include <random>
+
+namespace ms::graph {
+
+namespace {
+u32 weight_of(std::mt19937_64& rng, const GenConfig& cfg) {
+  return 1 + static_cast<u32>(rng() % cfg.max_weight);
+}
+}  // namespace
+
+Csr social_like(u32 n, u64 target_edges, const GenConfig& cfg) {
+  check(n >= 2, "social_like: need at least 2 vertices");
+  std::mt19937_64 rng(cfg.seed);
+  std::vector<std::array<u32, 3>> edges;
+  edges.reserve(target_edges);
+  // Preferential attachment by sampling an endpoint of an existing edge:
+  // classic heavy-tail construction without maintaining degree arrays.
+  std::vector<u32> endpoint_pool;
+  endpoint_pool.reserve(target_edges);
+  endpoint_pool.push_back(0);
+  endpoint_pool.push_back(1);
+  for (u64 e = 0; e < target_edges; ++e) {
+    const u32 u = static_cast<u32>(rng() % n);
+    u32 v;
+    if ((rng() % 4) != 0 && !endpoint_pool.empty()) {
+      v = endpoint_pool[rng() % endpoint_pool.size()];
+    } else {
+      v = static_cast<u32>(rng() % n);
+    }
+    if (u == v) continue;
+    const u32 w = weight_of(rng, cfg);
+    edges.push_back({u, v, w});
+    edges.push_back({v, u, w});  // social graphs are symmetric
+    endpoint_pool.push_back(u);
+    endpoint_pool.push_back(v);
+  }
+  return csr_from_edges(n, edges);
+}
+
+Csr rmat(u32 scale, u64 target_edges, const GenConfig& cfg) {
+  const u32 n = 1u << scale;
+  std::mt19937_64 rng(cfg.seed);
+  std::uniform_real_distribution<f64> coin(0.0, 1.0);
+  // Graph500 parameters.
+  const f64 a = 0.57, b = 0.19, c = 0.19;
+  std::vector<std::array<u32, 3>> edges;
+  edges.reserve(target_edges);
+  for (u64 e = 0; e < target_edges; ++e) {
+    u32 u = 0, v = 0;
+    for (u32 bit = 0; bit < scale; ++bit) {
+      const f64 r = coin(rng);
+      u <<= 1;
+      v <<= 1;
+      if (r < a) {
+        // top-left quadrant
+      } else if (r < a + b) {
+        v |= 1;
+      } else if (r < a + b + c) {
+        u |= 1;
+      } else {
+        u |= 1;
+        v |= 1;
+      }
+    }
+    if (u == v) continue;
+    edges.push_back({u, v, weight_of(rng, cfg)});
+  }
+  return csr_from_edges(n, edges);
+}
+
+Csr low_diameter(u32 n, u64 target_edges, const GenConfig& cfg) {
+  std::mt19937_64 rng(cfg.seed);
+  std::vector<std::array<u32, 3>> edges;
+  edges.reserve(target_edges + n);
+  // A Hamiltonian backbone keeps the graph connected; the rest is G(n, M).
+  for (u32 v = 0; v + 1 < n; ++v)
+    edges.push_back({v, v + 1, weight_of(rng, cfg)});
+  for (u64 e = edges.size(); e < target_edges; ++e) {
+    const u32 u = static_cast<u32>(rng() % n);
+    const u32 v = static_cast<u32>(rng() % n);
+    if (u == v) continue;
+    edges.push_back({u, v, weight_of(rng, cfg)});
+  }
+  return csr_from_edges(n, edges);
+}
+
+Csr grid2d(u32 side, const GenConfig& cfg) {
+  std::mt19937_64 rng(cfg.seed);
+  const u32 n = side * side;
+  std::vector<std::array<u32, 3>> edges;
+  edges.reserve(static_cast<u64>(n) * 4);
+  const auto id = [side](u32 x, u32 y) { return y * side + x; };
+  for (u32 y = 0; y < side; ++y) {
+    for (u32 x = 0; x < side; ++x) {
+      if (x + 1 < side) {
+        const u32 w = weight_of(rng, cfg);
+        edges.push_back({id(x, y), id(x + 1, y), w});
+        edges.push_back({id(x + 1, y), id(x, y), w});
+      }
+      if (y + 1 < side) {
+        const u32 w = weight_of(rng, cfg);
+        edges.push_back({id(x, y), id(x, y + 1), w});
+        edges.push_back({id(x, y + 1), id(x, y), w});
+      }
+    }
+  }
+  return csr_from_edges(n, edges);
+}
+
+}  // namespace ms::graph

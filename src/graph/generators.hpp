@@ -1,0 +1,34 @@
+// Synthetic graph generators with the *characteristics* of the four SSSP
+// datasets in the paper's footnote 1 (the originals -- flickr,
+// yahoo-social, Graph500 rmat, and a GBF-like synthetic -- are not
+// redistributable here; DESIGN.md records the substitution):
+//
+//   * social_like    -- heavy-tailed degree distribution, low diameter
+//                       (flickr / yahoo-social stand-in; preferential
+//                       attachment).
+//   * rmat           -- Graph500-style R-MAT with the standard
+//                       (0.57, 0.19, 0.19, 0.05) partition.
+//   * low_diameter   -- sparse Erdos-Renyi-style G(n, M) with uniform
+//                       weights: low diameter at modest average degree
+//                       (the GBF(n, r)-like synthetic).
+//   * grid2d         -- 2-D grid: high diameter, the regime where
+//                       delta-stepping needs many bucket iterations.
+//
+// All weights are uniform in [1, max_weight].
+#pragma once
+
+#include "graph/graph.hpp"
+
+namespace ms::graph {
+
+struct GenConfig {
+  u64 seed = 0x5EED;
+  u32 max_weight = 1000;
+};
+
+Csr social_like(u32 n, u64 target_edges, const GenConfig& cfg = {});
+Csr rmat(u32 scale, u64 target_edges, const GenConfig& cfg = {});
+Csr low_diameter(u32 n, u64 target_edges, const GenConfig& cfg = {});
+Csr grid2d(u32 side, const GenConfig& cfg = {});
+
+}  // namespace ms::graph

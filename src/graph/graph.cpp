@@ -1,0 +1,73 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <array>
+#include <queue>
+
+namespace ms::graph {
+
+void Csr::validate() const {
+  check(row_offsets.size() == static_cast<size_t>(num_vertices) + 1,
+        "csr: row_offsets size mismatch");
+  check(row_offsets.front() == 0, "csr: row_offsets must start at 0");
+  check(row_offsets.back() == col_indices.size(),
+        "csr: row_offsets must end at num_edges");
+  check(col_indices.size() == weights.size(), "csr: weights size mismatch");
+  for (u32 v = 0; v < num_vertices; ++v) {
+    check(row_offsets[v] <= row_offsets[v + 1], "csr: offsets not monotone");
+  }
+  for (u32 c : col_indices) check(c < num_vertices, "csr: edge target out of range");
+  for (u32 w : weights) check(w >= 1, "csr: weights must be >= 1");
+}
+
+Csr csr_from_edges(u32 num_vertices,
+                   const std::vector<std::array<u32, 3>>& edges) {
+  Csr g;
+  g.num_vertices = num_vertices;
+  g.row_offsets.assign(num_vertices + 1, 0);
+  for (const auto& e : edges) g.row_offsets[e[0] + 1]++;
+  for (u32 v = 0; v < num_vertices; ++v)
+    g.row_offsets[v + 1] += g.row_offsets[v];
+  g.col_indices.resize(edges.size());
+  g.weights.resize(edges.size());
+  std::vector<u32> cursor(g.row_offsets.begin(), g.row_offsets.end() - 1);
+  for (const auto& e : edges) {
+    const u32 at = cursor[e[0]]++;
+    g.col_indices[at] = e[1];
+    g.weights[at] = e[2];
+  }
+  g.validate();
+  return g;
+}
+
+std::vector<u32> dijkstra(const Csr& g, u32 source) {
+  std::vector<u32> dist(g.num_vertices, kInfDist);
+  using Entry = std::pair<u64, u32>;  // (distance, vertex); u64 avoids overflow
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> pq;
+  dist[source] = 0;
+  pq.emplace(0, source);
+  while (!pq.empty()) {
+    const auto [d, v] = pq.top();
+    pq.pop();
+    if (d > dist[v]) continue;
+    for (u32 e = g.row_offsets[v]; e < g.row_offsets[v + 1]; ++e) {
+      const u32 u = g.col_indices[e];
+      const u64 nd = d + g.weights[e];
+      if (nd < dist[u]) {
+        dist[u] = static_cast<u32>(nd);
+        pq.emplace(nd, u);
+      }
+    }
+  }
+  return dist;
+}
+
+u32 max_finite_distance(const std::vector<u32>& dist) {
+  u32 best = 0;
+  for (u32 d : dist) {
+    if (d != kInfDist) best = std::max(best, d);
+  }
+  return best;
+}
+
+}  // namespace ms::graph

@@ -1,0 +1,42 @@
+// CSR graph substrate for the SSSP application experiment (the paper's
+// footnote 1).  Graphs are host-side structures; the SSSP engine uploads
+// the CSR arrays into DeviceBuffers before running.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace ms::graph {
+
+/// Distances are 32-bit; this sentinel means "unreached".
+inline constexpr u32 kInfDist = 0xFFFFFFFFu;
+
+/// Directed graph in compressed-sparse-row form with u32 edge weights.
+struct Csr {
+  u32 num_vertices = 0;
+  std::vector<u32> row_offsets;  // size num_vertices + 1
+  std::vector<u32> col_indices;  // size num_edges
+  std::vector<u32> weights;      // size num_edges, all >= 1
+
+  u64 num_edges() const { return col_indices.size(); }
+  /// Out-degree of vertex v.
+  u32 degree(u32 v) const { return row_offsets[v + 1] - row_offsets[v]; }
+
+  /// Structural sanity check; throws on malformed input.
+  void validate() const;
+};
+
+/// Build a CSR from an edge list (u, v, w); parallel edges are kept.
+Csr csr_from_edges(u32 num_vertices,
+                   const std::vector<std::array<u32, 3>>& edges);
+
+/// Serial Dijkstra reference implementation (host-side, untimed).
+std::vector<u32> dijkstra(const Csr& g, u32 source);
+
+/// Maximum finite distance in a distance vector (0 if none).
+u32 max_finite_distance(const std::vector<u32>& dist);
+
+}  // namespace ms::graph

@@ -1,0 +1,74 @@
+// Common types of the multisplit public API: method selection, tuning
+// options, and the result record (bucket offsets + per-stage timings +
+// event summaries for the paper's stage-breakdown tables).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/sim.hpp"
+
+namespace ms::split {
+
+enum class Method {
+  kDirect,              // Section 5: warp subproblems, no reordering
+  kWarpLevel,           // Section 5.2.1: + warp-level reordering
+  kBlockLevel,          // Section 5.2.2: block subproblems + reordering
+  kScanSplit,           // Section 3.2: one scan-based binary split (m == 2)
+  kRecursiveScanSplit,  // Section 3.2: ceil(log2 m) split rounds
+  kReducedBitSort,      // Section 3.4: sort bucket labels, permute payload
+  kRandomizedInsertion, // Section 3.5: PRAM dart throwing (not stable)
+  kFusedBucketSort,     // Section 3.4's "future work": bucket functor fused
+                        // into the sort kernels; stable, no label vector
+};
+
+std::string to_string(Method m);
+
+/// All stable deterministic methods (the paper's main cast).
+inline constexpr Method kCoreMethods[] = {Method::kDirect, Method::kWarpLevel,
+                                          Method::kBlockLevel};
+
+struct MultisplitConfig {
+  Method method = Method::kBlockLevel;
+  /// Warps per block (NW).  The paper uses 8 (256 threads) throughout and
+  /// quantifies the sensitivity in Section 6.
+  u32 warps_per_block = 8;
+  /// Thread coarsening for the warp-granularity methods (paper footnote 5):
+  /// each warp's subproblem holds 32 * items_per_thread keys.
+  u32 items_per_thread = 1;
+  /// Thread coarsening for block-level MS (this library's extension in the
+  /// direction later multisplit implementations took); 1 = the paper's
+  /// configuration (256-key blocks).  Ignored for m > 32, where the
+  /// histogram matrix already strains shared memory.
+  u32 block_items_per_thread = 1;
+  /// Footnote-6 ablation: load the pre-scan histograms back from global
+  /// memory in the post-scan stage instead of recomputing them with
+  /// ballots.  The paper found recomputation cheaper ("the recomputation is
+  /// cheaper than the cost of global store and load"); this flag lets the
+  /// ablation bench check that on the model.  Direct MS only.
+  bool reload_histograms = false;
+  /// Relaxation factor x for randomized insertion (Section 3.5).
+  f64 relaxation = 2.0;
+  /// Seed for randomized insertion's dart throwing.
+  u64 seed = 0x9E3779B97F4A7C15ull;
+};
+
+/// Per-stage timing breakdown matching the paper's Table 4 rows.  For the
+/// sort-based methods the stages map to labeling / sorting / packing.
+struct StageTimings {
+  f64 prescan_ms = 0.0;   // or "labeling"
+  f64 scan_ms = 0.0;      // or "sorting"
+  f64 postscan_ms = 0.0;  // or "(un)packing" / "splitting"
+  f64 total() const { return prescan_ms + scan_ms + postscan_ms; }
+};
+
+struct MultisplitResult {
+  /// bucket_offsets[j] = first output index of bucket j; size m+1, with
+  /// bucket_offsets[m] == n.  (The paper's optional m-entry index array.)
+  std::vector<u32> bucket_offsets;
+  StageTimings stages;
+  sim::TimingSummary summary;
+  f64 total_ms() const { return stages.total(); }
+};
+
+}  // namespace ms::split

@@ -1,0 +1,192 @@
+// Block-wide multi-reduction and multi-scan over per-warp histograms.
+//
+// Block-level multisplit (and the radix sort ranking kernel) keep an
+// m x NW histogram matrix H2 in shared memory, stored column-major --
+// column w is warp w's histogram, so each warp touches a contiguous run of
+// shared memory and the per-row (per-bucket) tree operations are coalesced,
+// as Section 5.1 of the paper describes.  Both operations run in
+// O(log NW) barrier-separated rounds.
+#pragma once
+
+#include <vector>
+
+#include "primitives/warp_scan.hpp"
+
+namespace ms::prim {
+
+using sim::Block;
+using sim::SharedArray;
+
+namespace detail {
+inline u32 next_pow2(u32 x) {
+  u32 p = 1;
+  while (p < x) p <<= 1;
+  return p;
+}
+
+/// Read one m-entry column (column-major layout, chunked by 32 lanes).
+inline std::vector<LaneArray<u32>> read_column(Warp& w,
+                                               const SharedArray<u32>& h2,
+                                               u32 col, u32 m) {
+  const u32 chunks = static_cast<u32>(ceil_div(m, kWarpSize));
+  std::vector<LaneArray<u32>> out(chunks);
+  for (u32 c = 0; c < chunks; ++c) {
+    const u32 base = col * m + c * kWarpSize;
+    const LaneMask mask = sim::tail_mask(m - c * kWarpSize);
+    const auto idx = LaneArray<u32>::iota(base);
+    out[c] = w.smem_read(h2, idx, mask);
+  }
+  return out;
+}
+
+inline void write_column(Warp& w, SharedArray<u32>& h2, u32 col, u32 m,
+                         const std::vector<LaneArray<u32>>& vals) {
+  const u32 chunks = static_cast<u32>(ceil_div(m, kWarpSize));
+  for (u32 c = 0; c < chunks; ++c) {
+    const u32 base = col * m + c * kWarpSize;
+    const LaneMask mask = sim::tail_mask(m - c * kWarpSize);
+    const auto idx = LaneArray<u32>::iota(base);
+    w.smem_write(h2, idx, vals[c], mask);
+  }
+}
+}  // namespace detail
+
+/// Tree-reduce the NW columns of H2 (m rows each) into column 0.
+/// `h2` must hold at least nw * m entries (column-major).
+inline void block_multi_reduce(Block& blk, SharedArray<u32>& h2, u32 m) {
+  const u32 nw = blk.num_warps();
+  check(h2.size() >= nw * m, "block_multi_reduce: h2 too small");
+  for (u32 s = detail::next_pow2(nw) / 2; s >= 1; s /= 2) {
+    blk.for_each_warp([&](Warp& w) {
+      const u32 wi = w.warp_in_block();
+      if (wi >= s || wi + s >= nw) return;
+      auto a = detail::read_column(w, h2, wi, m);
+      const auto b = detail::read_column(w, h2, wi + s, m);
+      for (u32 c = 0; c < a.size(); ++c) a[c] = lane_add(w, a[c], b[c]);
+      detail::write_column(w, h2, wi, m, a);
+    });
+    blk.sync();
+    if (s == 1) break;
+  }
+}
+
+/// Per-row exclusive scan across the warp columns of H2, Kogge-Stone style.
+/// `h2` must hold (nw + 1) * m entries: on return, column w holds the sum
+/// of columns < w of the input, and the extra column nw holds the row
+/// totals (the block-level histogram).
+inline void block_multi_scan_exclusive(Block& blk, SharedArray<u32>& h2,
+                                       u32 m) {
+  const u32 nw = blk.num_warps();
+  check(h2.size() >= (nw + 1) * m, "block_multi_scan_exclusive: h2 too small");
+
+  // Inclusive Kogge-Stone over columns.
+  for (u32 d = 1; d < nw; d <<= 1) {
+    std::vector<std::vector<LaneArray<u32>>> staged(nw);
+    blk.for_each_warp([&](Warp& w) {
+      const u32 wi = w.warp_in_block();
+      if (wi >= d) staged[wi] = detail::read_column(w, h2, wi - d, m);
+    });
+    blk.sync();
+    blk.for_each_warp([&](Warp& w) {
+      const u32 wi = w.warp_in_block();
+      if (wi < d) return;
+      auto mine = detail::read_column(w, h2, wi, m);
+      for (u32 c = 0; c < mine.size(); ++c)
+        mine[c] = lane_add(w, mine[c], staged[wi][c]);
+      detail::write_column(w, h2, wi, m, mine);
+    });
+    blk.sync();
+  }
+
+  // Shift right for the exclusive result; the last inclusive column becomes
+  // the row-totals column nw.
+  std::vector<std::vector<LaneArray<u32>>> staged(nw);
+  blk.for_each_warp([&](Warp& w) {
+    const u32 wi = w.warp_in_block();
+    staged[wi] = detail::read_column(w, h2, wi == 0 ? 0 : wi - 1, m);
+    if (wi == nw - 1) {
+      const auto totals = detail::read_column(w, h2, nw - 1, m);
+      detail::write_column(w, h2, nw, m, totals);
+    }
+  });
+  blk.sync();
+  blk.for_each_warp([&](Warp& w) {
+    const u32 wi = w.warp_in_block();
+    if (wi == 0) {
+      std::vector<LaneArray<u32>> zeros(ceil_div(m, kWarpSize));
+      detail::write_column(w, h2, 0, m, zeros);
+    } else {
+      detail::write_column(w, h2, wi, m, staged[wi]);
+    }
+  });
+  blk.sync();
+}
+
+/// Block-wide exclusive scan of `count` u32 entries living in shared
+/// memory, in place.  This is the paper's Section 6.4 fallback for m > 32:
+/// instead of per-row multi-scans, store the row-vectorized histogram
+/// matrix in shared memory and run one block-wide scan of size m * NW over
+/// it (they call CUB's block scan; this is the same three-phase shape).
+inline void block_exclusive_scan_smem(Block& blk, SharedArray<u32>& arr,
+                                      u32 count) {
+  check(arr.size() >= count, "block_exclusive_scan_smem: array too small");
+  const u32 nw = blk.num_warps();
+  const u32 threads = nw * kWarpSize;
+  const u32 ipt = static_cast<u32>(ceil_div(count, threads));
+  const u32 strip = ipt * kWarpSize;
+  auto warp_totals = blk.shared<u32>(nw);
+
+  // Phase 1: per-warp strip totals.
+  blk.for_each_warp([&](Warp& w) {
+    const u32 wi = w.warp_in_block();
+    LaneArray<u32> acc{};
+    for (u32 r = 0; r < ipt; ++r) {
+      const u32 base = wi * strip + r * kWarpSize;
+      if (base >= count) break;
+      const LaneMask mask = sim::tail_mask(count - base);
+      acc = lane_add(w, acc,
+                     w.smem_read(arr, LaneArray<u32>::iota(base), mask));
+    }
+    const auto total = warp_reduce_sum(w, acc);
+    w.smem_write(warp_totals, LaneArray<u32>::filled(wi), total, 1u);
+  });
+  blk.sync();
+
+  // Phase 2: warp 0 exclusive-scans the warp totals.
+  {
+    Warp& w0 = blk.warp(0);
+    const LaneMask wm = sim::tail_mask(nw);
+    LaneArray<u32> t = w0.smem_read(warp_totals, Warp::lane_id(), wm);
+    for (u32 lane = nw; lane < kWarpSize; ++lane) t[lane] = 0;
+    const auto ex = warp_exclusive_scan(w0, t);
+    w0.smem_write(warp_totals, Warp::lane_id(), ex, wm);
+  }
+  blk.sync();
+
+  // Phase 3: scan each strip, offset by the warp base.
+  blk.for_each_warp([&](Warp& w) {
+    const u32 wi = w.warp_in_block();
+    u32 running;
+    {
+      const auto off =
+          w.smem_read(warp_totals, LaneArray<u32>::filled(wi), 1u);
+      running = off[0];
+    }
+    for (u32 r = 0; r < ipt; ++r) {
+      const u32 base = wi * strip + r * kWarpSize;
+      if (base >= count) break;
+      const LaneMask mask = sim::tail_mask(count - base);
+      const auto v = w.smem_read(arr, LaneArray<u32>::iota(base), mask);
+      const auto incl = warp_inclusive_scan(w, v);
+      auto ex = w.shfl_up(incl, 1);
+      ex[0] = 0;
+      ex = lane_add_scalar(w, ex, running);
+      w.smem_write(arr, LaneArray<u32>::iota(base), ex, mask);
+      const auto tot = w.shfl(incl, kWarpSize - 1);
+      running += tot[0];
+    }
+  });
+  blk.sync();
+}
+
+}  // namespace ms::prim

@@ -1,0 +1,81 @@
+// Stream compaction: filter the elements satisfying a predicate into a
+// dense output, preserving order (Section 2.2 of the paper).  Built from a
+// flag kernel, a device-wide exclusive scan, and a scatter kernel -- the
+// standard scan-based formulation.
+#pragma once
+
+#include "primitives/scan.hpp"
+
+namespace ms::prim {
+
+/// Compact the elements of `in` for which pred(x) != 0 into the front of
+/// `out` (which must be at least as large as `in`), preserving their
+/// relative order.  Returns the number of elements kept.
+template <typename T, typename Pred>
+u64 compact(Device& dev, const DeviceBuffer<T>& in, DeviceBuffer<T>& out,
+            Pred&& pred) {
+  const u64 n = in.size();
+  check(out.size() >= n, "compact: output too small");
+  if (n == 0) return 0;
+
+  DeviceBuffer<u32> flags(dev, n);
+  DeviceBuffer<u32> positions(dev, n);
+
+  sim::launch_warps(dev, "compact_flags", ceil_div(n, kWarpSize),
+                    [&](Warp& w, u64 wid) {
+    const u64 base = wid * kWarpSize;
+    const LaneMask m = detail::row_mask(base, n);
+    const auto v = w.load(in, base, m);
+    w.charge(1);  // predicate evaluation
+    const auto f = v.map([&](T x) { return pred(x) ? 1u : 0u; });
+    w.store(flags, base, f, m);
+  });
+
+  exclusive_scan<u32>(dev, flags, positions);
+  const u64 kept = positions[n - 1] + (pred(in[n - 1]) ? 1u : 0u);
+
+  sim::launch_warps(dev, "compact_scatter", ceil_div(n, kWarpSize),
+                    [&](Warp& w, u64 wid) {
+    const u64 base = wid * kWarpSize;
+    const LaneMask m = detail::row_mask(base, n);
+    const auto v = w.load(in, base, m);
+    const auto pos = w.load(positions, base, m);
+    w.charge(1);
+    const LaneMask keep = w.ballot(v.map([&](T x) { return pred(x) ? 1u : 0u; }), m);
+    LaneArray<u64> idx{};
+    for (u32 lane = 0; lane < kWarpSize; ++lane) idx[lane] = pos[lane];
+    w.scatter(out, idx, v, keep);
+  });
+
+  return kept;
+}
+
+/// Compact `in` by an explicit 0/1 flag vector (order-preserving).
+/// Returns the number of elements kept.
+template <typename T>
+u64 compact_by_flags(Device& dev, const DeviceBuffer<T>& in,
+                     const DeviceBuffer<u32>& flags, DeviceBuffer<T>& out) {
+  const u64 n = in.size();
+  check(flags.size() >= n, "compact_by_flags: flag vector too small");
+  if (n == 0) return 0;
+  DeviceBuffer<u32> positions(dev, n);
+  exclusive_scan<u32>(dev, flags, positions);
+  const u64 kept = positions[n - 1] + (flags[n - 1] ? 1 : 0);
+  check(out.size() >= kept, "compact_by_flags: output too small");
+
+  sim::launch_warps(dev, "compact_flags_scatter", ceil_div(n, kWarpSize),
+                    [&](Warp& w, u64 wid) {
+    const u64 base = wid * kWarpSize;
+    const LaneMask m = detail::row_mask(base, n);
+    const auto v = w.load(in, base, m);
+    const auto f = w.load(flags, base, m);
+    const auto pos = w.load(positions, base, m);
+    const LaneMask keep = w.ballot(f, m);
+    LaneArray<u64> idx{};
+    for (u32 lane = 0; lane < kWarpSize; ++lane) idx[lane] = pos[lane];
+    w.scatter(out, idx, v, keep);
+  });
+  return kept;
+}
+
+}  // namespace ms::prim

@@ -1,0 +1,90 @@
+// Device-wide histogram computation, in the two styles the paper's related
+// work section contrasts (Section 2): global atomics (good for many
+// buckets, contention-bound for few) and block-local shared-memory
+// histograms merged at block end (the approach multisplit's pre-scan
+// generalizes).  Used by the randomized-insertion baseline's buffer-sizing
+// pre-pass and exercised as a standalone primitive by tests.
+#pragma once
+
+#include "primitives/scan.hpp"
+
+namespace ms::prim {
+
+/// hist[b] = |{ i : bucket_of(keys[i]) == b }| via global atomicAdd.
+template <typename BucketFn>
+void histogram_global_atomic(Device& dev, const DeviceBuffer<u32>& keys,
+                             DeviceBuffer<u32>& hist, u32 m,
+                             BucketFn&& bucket_of) {
+  check(hist.size() >= m, "histogram: output too small");
+  sim::device_fill<u32>(dev, hist, 0);
+  const u64 n = keys.size();
+  sim::launch_warps(dev, "histogram_atomic", ceil_div(n, kWarpSize),
+                    [&](Warp& w, u64 wid) {
+    const u64 base = wid * kWarpSize;
+    const LaneMask mask = detail::row_mask(base, n);
+    const auto v = w.load(keys, base, mask);
+    w.charge(2);  // bucket function
+    const auto b = v.map([&](u32 x) { return bucket_of(x); });
+    LaneArray<u64> idx{};
+    for (u32 lane = 0; lane < kWarpSize; ++lane) idx[lane] = b[lane];
+    w.atomic_add(hist, idx, LaneArray<u32>::filled(1), mask);
+  });
+}
+
+/// Same result via per-block shared-memory histograms merged with one
+/// global atomic per (block, bucket).
+template <typename BucketFn>
+void histogram_block_local(Device& dev, const DeviceBuffer<u32>& keys,
+                           DeviceBuffer<u32>& hist, u32 m,
+                           BucketFn&& bucket_of, u32 warps_per_block = 8,
+                           u32 items_per_thread = 4) {
+  check(hist.size() >= m, "histogram: output too small");
+  sim::device_fill<u32>(dev, hist, 0);
+  const u64 n = keys.size();
+  const u32 tile = warps_per_block * kWarpSize * items_per_thread;
+  const u32 nblocks = static_cast<u32>(ceil_div(n, tile));
+  sim::launch_blocks(dev, "histogram_block", nblocks, warps_per_block,
+                     [&](Block& blk) {
+    auto sh = blk.shared<u32>(m);
+    // Zero the shared histogram cooperatively.
+    blk.for_each_warp([&](Warp& w) {
+      for (u32 base = w.warp_in_block() * kWarpSize; base < m;
+           base += blk.num_warps() * kWarpSize) {
+        const LaneMask mask = sim::tail_mask(m - base);
+        w.smem_write(sh, LaneArray<u32>::iota(base), LaneArray<u32>{}, mask);
+      }
+    });
+    blk.sync();
+    const u64 tile_base = static_cast<u64>(blk.block_id()) * tile;
+    blk.for_each_warp([&](Warp& w) {
+      for (u32 r = 0; r < items_per_thread; ++r) {
+        const u64 base = tile_base +
+                         (static_cast<u64>(w.warp_in_block()) * items_per_thread + r) *
+                             kWarpSize;
+        const LaneMask mask = detail::row_mask(base, n);
+        if (mask == 0) break;
+        const auto v = w.load(keys, base, mask);
+        w.charge(2);
+        const auto b = v.map([&](u32 x) { return bucket_of(x); });
+        w.smem_atomic_add(sh, b, LaneArray<u32>::filled(1), mask);
+      }
+    });
+    blk.sync();
+    // Merge into the global histogram.
+    blk.for_each_warp([&](Warp& w) {
+      for (u32 base = w.warp_in_block() * kWarpSize; base < m;
+           base += blk.num_warps() * kWarpSize) {
+        const LaneMask mask = sim::tail_mask(m - base);
+        const auto counts = w.smem_read(sh, LaneArray<u32>::iota(base), mask);
+        w.charge(1);
+        const LaneMask nz =
+            w.ballot(counts.map([](u32 c) { return c != 0 ? 1u : 0u; }), mask);
+        LaneArray<u64> idx{};
+        for (u32 lane = 0; lane < kWarpSize; ++lane) idx[lane] = base + lane;
+        w.atomic_add(hist, idx, counts, nz);
+      }
+    });
+  });
+}
+
+}  // namespace ms::prim

@@ -1,0 +1,10 @@
+// Umbrella header for the device-wide parallel primitives layer.
+#pragma once
+
+#include "primitives/block_ops.hpp"
+#include "primitives/compact.hpp"
+#include "primitives/histogram.hpp"
+#include "primitives/radix_sort.hpp"
+#include "primitives/scan.hpp"
+#include "primitives/warp_ops.hpp"
+#include "primitives/warp_scan.hpp"

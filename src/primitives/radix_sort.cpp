@@ -1,0 +1,11 @@
+#include "primitives/radix_sort.hpp"
+
+namespace ms::prim {
+
+void sort_keys(Device& dev, DeviceBuffer<u32>& keys, u32 begin_bit,
+               u32 end_bit, const RadixSortConfig& cfg) {
+  detail::radix_sort_impl<u32>(dev, keys, /*values=*/nullptr, begin_bit,
+                               end_bit, cfg);
+}
+
+}  // namespace ms::prim

@@ -1,0 +1,279 @@
+// LSB radix sort on the simulator -- the library's stand-in for CUB's
+// device radix sort, which the paper uses both as the sort baseline
+// (Table 3) and inside the reduced-bit sort method (Section 3.4).
+//
+// Structure per digit pass (bits_per_pass-bit digits, three kernels):
+//   1. per-block digit histograms (ballot-based warp histograms reduced
+//      across the block), stored digit-major: hist[d * nblocks + b];
+//   2. device-wide exclusive scan of that matrix (global digit offsets);
+//   3. rank-and-scatter: every block re-reads its tile, computes stable
+//      local ranks (warp ballot offsets + block multi-scan), reorders the
+//      tile in shared memory and writes each digit run out contiguously --
+//      the same local-reordering-for-coalescing trick Block-level MS uses,
+//      which is how real GPU radix sorts achieve their memory efficiency.
+//
+// Sorting a [begin_bit, end_bit) range takes ceil(bits/bits_per_pass)
+// passes ping-ponging between the input and a temporary buffer; the result
+// always ends up back in the caller's buffer.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "primitives/block_ops.hpp"
+#include "primitives/scan.hpp"
+#include "primitives/warp_ops.hpp"
+
+namespace ms::prim {
+
+struct RadixSortConfig {
+  /// Digit width in bits; must be in [1, 5] so one warp covers all digits.
+  u32 bits_per_pass = 4;
+  u32 warps_per_block = 8;
+  u32 items_per_thread = 8;
+  u32 tile_items() const { return warps_per_block * kWarpSize * items_per_thread; }
+};
+
+namespace detail {
+
+/// One stable counting pass over m = 2^bits digits produced by an
+/// arbitrary key -> digit function (a plain bit-window extraction for the
+/// classic radix sort; a fused bucket functor for the paper's future-work
+/// variant).  Values are optional (null pointers for key-only sorts).
+/// `digit_cost` is the modeled instruction cost of one digit evaluation.
+template <typename V, typename DigitFn>
+void radix_pass_fn(Device& dev, const DeviceBuffer<u32>& in_keys,
+                   DeviceBuffer<u32>& out_keys, const DeviceBuffer<V>* in_vals,
+                   DeviceBuffer<V>* out_vals, u32 m, DigitFn digit_fn,
+                   u32 digit_cost, const RadixSortConfig& cfg) {
+  check(m >= 1 && m <= kWarpSize, "radix_pass: digit width out of range");
+  const u64 n = in_keys.size();
+  const u32 tile = cfg.tile_items();
+  const u32 nblocks = static_cast<u32>(ceil_div(n, tile));
+  const u32 nw = cfg.warps_per_block;
+  const u32 rounds = cfg.items_per_thread;
+
+  DeviceBuffer<u32> hist(dev, static_cast<u64>(m) * nblocks);
+  DeviceBuffer<u32> hist_scanned(dev, static_cast<u64>(m) * nblocks);
+
+  // ---- kernel 1: per-block digit histograms --------------------------
+  sim::launch_blocks(dev, "radix_histogram", nblocks, nw, [&](Block& blk) {
+    auto h2 = blk.shared<u32>(nw * m);
+    const u64 tile_base = static_cast<u64>(blk.block_id()) * tile;
+    blk.for_each_warp([&](Warp& w) {
+      const u32 wi = w.warp_in_block();
+      LaneArray<u32> acc{};
+      for (u32 r = 0; r < rounds; ++r) {
+        const u64 base =
+            tile_base + (static_cast<u64>(wi) * rounds + r) * kWarpSize;
+        const LaneMask mask = row_mask(base, n);
+        if (mask == 0) break;
+        const auto keys = w.load(in_keys, base, mask);
+        w.charge(digit_cost);
+        const auto digits = keys.map(digit_fn);
+        acc = lane_add(w, acc, warp_histogram(w, digits, m, mask));
+      }
+      // Column-major H2: warp wi's histogram at [wi*m, wi*m+m).
+      w.smem_write(h2, LaneArray<u32>::iota(wi * m), acc, sim::tail_mask(m));
+    });
+    blk.sync();
+    block_multi_reduce(blk, h2, m);
+    // Warp 0 stores the block histogram digit-major: hist[d*nblocks + b].
+    Warp& w0 = blk.warp(0);
+    const LaneMask mm = sim::tail_mask(m);
+    const auto counts = w0.smem_read(h2, LaneArray<u32>::iota(0), mm);
+    LaneArray<u64> idx{};
+    for (u32 lane = 0; lane < kWarpSize; ++lane)
+      idx[lane] = static_cast<u64>(lane) * nblocks + blk.block_id();
+    w0.charge(2);
+    w0.scatter(hist, idx, counts, mm);
+  });
+
+  // ---- kernel 2: global scan of the digit-major histogram ------------
+  exclusive_scan<u32>(dev, hist, hist_scanned);
+
+  // ---- kernel 3: rank, reorder in shared memory, scatter --------------
+  sim::launch_blocks(dev, "radix_scatter", nblocks, nw, [&](Block& blk) {
+    const u64 tile_base = static_cast<u64>(blk.block_id()) * tile;
+    const u32 tile_n = static_cast<u32>(std::min<u64>(tile, n - tile_base));
+
+    auto h2 = blk.shared<u32>((nw + 1) * m);
+    auto digit_start = blk.shared<u32>(m);    // first position of digit in tile
+    auto adjusted_base = blk.shared<u32>(m);  // global base minus digit_start
+    auto sm_keys = blk.shared<u32>(tile);
+    SharedArray<V> sm_vals;
+    if (in_vals != nullptr) sm_vals = blk.shared<V>(tile);
+
+    // Per-warp register state carried across barriers.
+    std::vector<std::vector<LaneArray<u32>>> keys_r(nw),
+        digits_r(nw), rank_r(nw);
+    std::vector<std::vector<LaneArray<V>>> vals_r(nw);
+    std::vector<std::vector<LaneMask>> mask_r(nw);
+
+    // Phase 1: load, compute warp histograms and stable in-warp ranks.
+    blk.for_each_warp([&](Warp& w) {
+      const u32 wi = w.warp_in_block();
+      keys_r[wi].resize(rounds);
+      digits_r[wi].resize(rounds);
+      rank_r[wi].resize(rounds);
+      mask_r[wi].assign(rounds, 0);
+      if (in_vals != nullptr) vals_r[wi].resize(rounds);
+      LaneArray<u32> acc{};
+      for (u32 r = 0; r < rounds; ++r) {
+        const u64 base =
+            tile_base + (static_cast<u64>(wi) * rounds + r) * kWarpSize;
+        const LaneMask mask = row_mask(base, n);
+        mask_r[wi][r] = mask;
+        if (mask == 0) break;
+        keys_r[wi][r] = w.load(in_keys, base, mask);
+        if (in_vals != nullptr) vals_r[wi][r] = w.load(*in_vals, base, mask);
+        w.charge(digit_cost);
+        digits_r[wi][r] = keys_r[wi][r].map(digit_fn);
+        const auto rank = warp_rank(w, digits_r[wi][r], m, mask);
+        // Stable rank within the warp strip so far: ranks of earlier rounds
+        // for my digit (acc, indexed by digit via shfl) plus in-round rank.
+        const auto base_for_digit = w.shfl(acc, digits_r[wi][r], mask);
+        rank_r[wi][r] = lane_add(w, base_for_digit, rank.offsets);
+        acc = lane_add(w, acc, rank.histogram);
+      }
+      w.smem_write(h2, LaneArray<u32>::iota(wi * m), acc, sim::tail_mask(m));
+    });
+    blk.sync();
+
+    // Phase 2: per-digit exclusive scan across warps; block digit offsets.
+    block_multi_scan_exclusive(blk, h2, m);
+    {
+      Warp& w0 = blk.warp(0);
+      const LaneMask mm = sim::tail_mask(m);
+      LaneArray<u32> totals = w0.smem_read(h2, LaneArray<u32>::iota(nw * m), mm);
+      for (u32 lane = m; lane < kWarpSize; ++lane) totals[lane] = 0;
+      const auto starts = warp_exclusive_scan(w0, totals);
+      w0.smem_write(digit_start, Warp::lane_id(), starts, mm);
+      // Global digit base for this block, shifted by the tile-local start.
+      LaneArray<u64> idx{};
+      for (u32 lane = 0; lane < kWarpSize; ++lane)
+        idx[lane] = static_cast<u64>(lane) * nblocks + blk.block_id();
+      const auto gbase = w0.gather(hist_scanned, idx, mm);
+      w0.charge(1);
+      const auto adj = gbase.zip(starts, [](u32 g, u32 s) { return g - s; });
+      w0.smem_write(adjusted_base, Warp::lane_id(), adj, mm);
+    }
+    blk.sync();
+
+    // Phase 3: reorder the tile in shared memory.
+    blk.for_each_warp([&](Warp& w) {
+      const u32 wi = w.warp_in_block();
+      const auto warp_base = w.smem_read(h2, LaneArray<u32>::iota(wi * m),
+                                         sim::tail_mask(m));
+      for (u32 r = 0; r < rounds; ++r) {
+        const LaneMask mask = mask_r[wi][r];
+        if (mask == 0) break;
+        // position = digit_start[d] + warp_base[d] + rank
+        const auto ds = w.smem_read(digit_start, digits_r[wi][r], mask);
+        const auto wb = w.shfl(warp_base, digits_r[wi][r], mask);
+        auto pos = lane_add(w, lane_add(w, ds, wb), rank_r[wi][r]);
+        w.smem_write(sm_keys, pos, keys_r[wi][r], mask);
+        if (in_vals != nullptr) w.smem_write(sm_vals, pos, vals_r[wi][r], mask);
+      }
+    });
+    blk.sync();
+
+    // Phase 4: write digit runs out contiguously.
+    blk.for_each_warp([&](Warp& w) {
+      const u32 wi = w.warp_in_block();
+      for (u32 r = 0; r < rounds; ++r) {
+        const u32 t = (wi * rounds + r) * kWarpSize;
+        if (t >= tile_n) break;
+        const LaneMask mask = sim::tail_mask(tile_n - t);
+        const auto keys = w.smem_read(sm_keys, LaneArray<u32>::iota(t), mask);
+        w.charge(digit_cost);
+        const auto digits = keys.map(digit_fn);
+        const auto gb = w.smem_read(adjusted_base, digits, mask);
+        w.charge(1);
+        LaneArray<u64> idx{};
+        for (u32 lane = 0; lane < kWarpSize; ++lane)
+          idx[lane] = static_cast<u64>(gb[lane]) + t + lane;
+        w.scatter(out_keys, idx, keys, mask);
+        if (in_vals != nullptr) {
+          const auto vals = w.smem_read(sm_vals, LaneArray<u32>::iota(t), mask);
+          w.scatter(*out_vals, idx, vals, mask);
+        }
+      }
+    });
+  });
+}
+
+/// Classic bit-window pass (the wrapper the full radix sort uses).
+template <typename V>
+void radix_pass(Device& dev, const DeviceBuffer<u32>& in_keys,
+                DeviceBuffer<u32>& out_keys, const DeviceBuffer<V>* in_vals,
+                DeviceBuffer<V>* out_vals, u32 shift, u32 bits,
+                const RadixSortConfig& cfg) {
+  const u32 m = 1u << bits;
+  radix_pass_fn<V>(
+      dev, in_keys, out_keys, in_vals, out_vals, m,
+      [shift, m](u32 k) { return (k >> shift) & (m - 1); },
+      /*digit_cost=*/1, cfg);
+}
+
+template <typename V>
+void radix_sort_impl(Device& dev, DeviceBuffer<u32>& keys,
+                     DeviceBuffer<V>* values, u32 begin_bit, u32 end_bit,
+                     const RadixSortConfig& cfg) {
+  check(cfg.bits_per_pass >= 1 && cfg.bits_per_pass <= 5,
+        "radix_sort: bits_per_pass must be in [1,5]");
+  check(begin_bit < end_bit && end_bit <= 32, "radix_sort: bad bit range");
+  const u64 n = keys.size();
+  if (n <= 1) return;
+
+  const u32 total_bits = end_bit - begin_bit;
+  const u32 passes = static_cast<u32>(ceil_div(total_bits, cfg.bits_per_pass));
+
+  DeviceBuffer<u32> tmp_keys(dev, n);
+  std::optional<DeviceBuffer<V>> tmp_vals;
+  if (values != nullptr) tmp_vals.emplace(dev, n);
+
+  // Ping-pong so the final pass lands in the caller's buffers: with an odd
+  // pass count, stage the input into the temporary first (one charged copy,
+  // the same thing CUB's DoubleBuffer spares the caller from thinking
+  // about).
+  DeviceBuffer<u32>* src_k = &keys;
+  DeviceBuffer<u32>* dst_k = &tmp_keys;
+  DeviceBuffer<V>* src_v = values;
+  DeviceBuffer<V>* dst_v = values != nullptr ? &*tmp_vals : nullptr;
+  if (passes % 2 == 1) {
+    sim::device_copy(dev, tmp_keys, keys);
+    if (values != nullptr) sim::device_copy(dev, *tmp_vals, *values);
+    std::swap(src_k, dst_k);
+    std::swap(src_v, dst_v);
+  }
+
+  u32 shift = begin_bit;
+  for (u32 p = 0; p < passes; ++p) {
+    const u32 bits = std::min(cfg.bits_per_pass, end_bit - shift);
+    radix_pass<V>(dev, *src_k, *dst_k, src_v, dst_v, shift, bits, cfg);
+    std::swap(src_k, dst_k);
+    std::swap(src_v, dst_v);
+    shift += bits;
+  }
+  check(src_k == &keys, "radix_sort: ping-pong ended in the wrong buffer");
+}
+
+}  // namespace detail
+
+/// Sort `keys` ascending by bits [begin_bit, end_bit), stably, in place.
+void sort_keys(Device& dev, DeviceBuffer<u32>& keys, u32 begin_bit = 0,
+               u32 end_bit = 32, const RadixSortConfig& cfg = {});
+
+/// Sort (key, value) pairs ascending by key bits [begin_bit, end_bit),
+/// stably, in place.  V is u32 or u64 (the paper packs 32+32-bit key-value
+/// pairs into one 64-bit value for its reduced-bit sort).
+template <typename V>
+void sort_pairs(Device& dev, DeviceBuffer<u32>& keys, DeviceBuffer<V>& values,
+                u32 begin_bit = 0, u32 end_bit = 32,
+                const RadixSortConfig& cfg = {}) {
+  check(values.size() == keys.size(), "sort_pairs: size mismatch");
+  detail::radix_sort_impl<V>(dev, keys, &values, begin_bit, end_bit, cfg);
+}
+
+}  // namespace ms::prim

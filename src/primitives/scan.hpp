@@ -1,0 +1,225 @@
+// Device-wide scan and reduction (the library's CUB stand-in).
+//
+// Classic three-phase reduce-then-scan:
+//   1. upsweep:   every block reduces its tile and stores one partial;
+//   2. recurse:   exclusive scan of the partials (recursively, until one
+//                 block suffices);
+//   3. downsweep: every block re-reads its tile, scans it locally (warp
+//                 shuffles + one shared-memory round for warp totals) and
+//                 adds its scanned partial.
+//
+// Total DRAM traffic is ~3n (read, read, write) plus the partial tree,
+// which is what CUB's scan achieves and what the paper's "scan stage" costs
+// are built on.
+#pragma once
+
+#include <vector>
+
+#include "primitives/warp_scan.hpp"
+
+namespace ms::prim {
+
+using sim::Block;
+using sim::Device;
+using sim::DeviceBuffer;
+using sim::tail_mask;
+
+struct ScanConfig {
+  u32 warps_per_block = 8;
+  u32 items_per_thread = 8;
+  u32 tile_items() const { return warps_per_block * kWarpSize * items_per_thread; }
+};
+
+namespace detail {
+
+/// Mask of lanes holding elements for the 32-wide row at `base` of an
+/// n-element input.
+inline LaneMask row_mask(u64 base, u64 n) {
+  if (base >= n) return 0;
+  return tail_mask(n - base);
+}
+
+/// Upsweep kernel: one partial (tile sum) per block.
+template <typename T>
+void scan_upsweep(Device& dev, const DeviceBuffer<T>& in,
+                  DeviceBuffer<T>& partials, const ScanConfig& cfg) {
+  const u64 n = in.size();
+  const u32 tile = cfg.tile_items();
+  const u32 nblocks = static_cast<u32>(ceil_div(n, tile));
+  sim::launch_blocks(dev, "scan_upsweep", nblocks, cfg.warps_per_block,
+                     [&](Block& blk) {
+    auto warp_sums = blk.shared<T>(blk.num_warps());
+    const u64 tile_base = static_cast<u64>(blk.block_id()) * tile;
+    blk.for_each_warp([&](Warp& w) {
+      const u64 strip =
+          tile_base + static_cast<u64>(w.warp_in_block()) * kWarpSize * cfg.items_per_thread;
+      LaneArray<T> acc{};
+      for (u32 r = 0; r < cfg.items_per_thread; ++r) {
+        const u64 base = strip + static_cast<u64>(r) * kWarpSize;
+        const LaneMask m = row_mask(base, n);
+        if (m == 0) break;
+        acc = lane_add(w, acc, w.load(in, base, m));
+      }
+      const LaneArray<T> total = warp_reduce_sum(w, acc);
+      w.smem_write(warp_sums, LaneArray<u32>::filled(w.warp_in_block()), total,
+                   /*active=*/1u);
+    });
+    blk.sync();
+    // Warp 0 reduces the warp totals and stores the block partial.
+    Warp& w0 = blk.warp(0);
+    const LaneMask wm = tail_mask(blk.num_warps());
+    const LaneArray<T> sums = w0.smem_read(warp_sums, Warp::lane_id(), wm);
+    const LaneArray<T> block_total = warp_reduce_sum(w0, sums);
+    w0.store(partials, blk.block_id(), block_total, /*active=*/1u);
+  });
+}
+
+/// Downsweep kernel: exclusive scan of each tile plus its scanned partial.
+/// `partials_scanned` may be null for the single-block base case.
+template <typename T>
+void scan_downsweep(Device& dev, const DeviceBuffer<T>& in,
+                    DeviceBuffer<T>& out,
+                    const DeviceBuffer<T>* partials_scanned,
+                    const ScanConfig& cfg, bool inclusive) {
+  const u64 n = in.size();
+  const u32 tile = cfg.tile_items();
+  const u32 nblocks = static_cast<u32>(ceil_div(n, tile));
+  sim::launch_blocks(dev, "scan_downsweep", nblocks, cfg.warps_per_block,
+                     [&](Block& blk) {
+    auto warp_sums = blk.shared<T>(blk.num_warps());
+    const u64 tile_base = static_cast<u64>(blk.block_id()) * tile;
+    // Per-warp register state persisting across barriers.
+    std::vector<std::vector<LaneArray<T>>> vals(
+        blk.num_warps(), std::vector<LaneArray<T>>(cfg.items_per_thread));
+
+    // Phase 1: load strips, compute per-warp sums.
+    blk.for_each_warp([&](Warp& w) {
+      const u32 wi = w.warp_in_block();
+      const u64 strip =
+          tile_base + static_cast<u64>(wi) * kWarpSize * cfg.items_per_thread;
+      LaneArray<T> acc{};
+      for (u32 r = 0; r < cfg.items_per_thread; ++r) {
+        const u64 base = strip + static_cast<u64>(r) * kWarpSize;
+        const LaneMask m = row_mask(base, n);
+        if (m == 0) break;
+        vals[wi][r] = w.load(in, base, m);
+        acc = lane_add(w, acc, vals[wi][r]);
+      }
+      const LaneArray<T> total = warp_reduce_sum(w, acc);
+      w.smem_write(warp_sums, LaneArray<u32>::filled(wi), total, 1u);
+    });
+    blk.sync();
+
+    // Phase 2: warp 0 exclusive-scans the warp totals in shared memory.
+    {
+      Warp& w0 = blk.warp(0);
+      const LaneMask wm = tail_mask(blk.num_warps());
+      LaneArray<T> sums = w0.smem_read(warp_sums, Warp::lane_id(), wm);
+      for (u32 lane = blk.num_warps(); lane < kWarpSize; ++lane) sums[lane] = T{0};
+      const LaneArray<T> ex = warp_exclusive_scan(w0, sums);
+      w0.smem_write(warp_sums, Warp::lane_id(), ex, wm);
+    }
+    blk.sync();
+
+    // Phase 3: each warp scans its strip and writes out.
+    blk.for_each_warp([&](Warp& w) {
+      const u32 wi = w.warp_in_block();
+      const u64 strip =
+          tile_base + static_cast<u64>(wi) * kWarpSize * cfg.items_per_thread;
+      T running;
+      {
+        const LaneArray<T> warp_off =
+            w.smem_read(warp_sums, LaneArray<u32>::filled(wi), 1u);
+        running = warp_off[0];
+      }
+      if (partials_scanned != nullptr) {
+        const LaneArray<T> blk_off =
+            w.gather(*partials_scanned,
+                     LaneArray<u64>::filled(blk.block_id()), 1u);
+        w.charge(1);
+        running = static_cast<T>(running + blk_off[0]);
+      }
+      for (u32 r = 0; r < cfg.items_per_thread; ++r) {
+        const u64 base = strip + static_cast<u64>(r) * kWarpSize;
+        const LaneMask m = row_mask(base, n);
+        if (m == 0) break;
+        const LaneArray<T> incl = warp_inclusive_scan(w, vals[wi][r]);
+        LaneArray<T> res;
+        if (inclusive) {
+          res = incl;
+        } else {
+          res = w.shfl_up(incl, 1);
+          res[0] = T{0};
+        }
+        res = lane_add_scalar(w, res, running);
+        w.store(out, base, res, m);
+        const LaneArray<T> tot = w.shfl(incl, kWarpSize - 1);
+        running = static_cast<T>(running + tot[0]);
+      }
+    });
+  });
+}
+
+}  // namespace detail
+
+/// Device-wide exclusive plus-scan: out[i] = sum of in[0..i-1].
+/// `in` and `out` must be distinct buffers of equal size.
+template <typename T>
+void exclusive_scan(Device& dev, const DeviceBuffer<T>& in,
+                    DeviceBuffer<T>& out, ScanConfig cfg = {}) {
+  check(&in != &out, "exclusive_scan: in and out must be distinct");
+  check(out.size() >= in.size(), "exclusive_scan: output too small");
+  const u64 n = in.size();
+  if (n == 0) return;
+  const u32 tile = cfg.tile_items();
+  if (n <= tile) {
+    detail::scan_downsweep<T>(dev, in, out, nullptr, cfg, /*inclusive=*/false);
+    return;
+  }
+  const u32 nblocks = static_cast<u32>(ceil_div(n, tile));
+  DeviceBuffer<T> partials(dev, nblocks);
+  DeviceBuffer<T> partials_scanned(dev, nblocks);
+  detail::scan_upsweep<T>(dev, in, partials, cfg);
+  exclusive_scan<T>(dev, partials, partials_scanned, cfg);
+  detail::scan_downsweep<T>(dev, in, out, &partials_scanned, cfg,
+                            /*inclusive=*/false);
+}
+
+/// Device-wide inclusive plus-scan: out[i] = sum of in[0..i].
+template <typename T>
+void inclusive_scan(Device& dev, const DeviceBuffer<T>& in,
+                    DeviceBuffer<T>& out, ScanConfig cfg = {}) {
+  check(&in != &out, "inclusive_scan: in and out must be distinct");
+  check(out.size() >= in.size(), "inclusive_scan: output too small");
+  const u64 n = in.size();
+  if (n == 0) return;
+  const u32 tile = cfg.tile_items();
+  if (n <= tile) {
+    detail::scan_downsweep<T>(dev, in, out, nullptr, cfg, /*inclusive=*/true);
+    return;
+  }
+  const u32 nblocks = static_cast<u32>(ceil_div(n, tile));
+  DeviceBuffer<T> partials(dev, nblocks);
+  DeviceBuffer<T> partials_scanned(dev, nblocks);
+  detail::scan_upsweep<T>(dev, in, partials, cfg);
+  exclusive_scan<T>(dev, partials, partials_scanned, cfg);
+  detail::scan_downsweep<T>(dev, in, out, &partials_scanned, cfg,
+                            /*inclusive=*/true);
+}
+
+/// Device-wide sum reduction.  The result is read back host-side (the
+/// charged work is the reduction tree itself).
+template <typename T>
+T device_reduce(Device& dev, const DeviceBuffer<T>& in, ScanConfig cfg = {}) {
+  const u64 n = in.size();
+  if (n == 0) return T{0};
+  const u32 tile = cfg.tile_items();
+  if (n == 1) return in[0];
+  const u32 nblocks = static_cast<u32>(ceil_div(n, tile));
+  DeviceBuffer<T> partials(dev, nblocks);
+  detail::scan_upsweep<T>(dev, in, partials, cfg);
+  if (nblocks == 1) return partials[0];
+  return device_reduce<T>(dev, partials, cfg);
+}
+
+}  // namespace ms::prim

@@ -1,0 +1,173 @@
+// Ballot-based warp-level histogram and local-offset computation --
+// Algorithms 2 and 3 of the paper, the computational core of every
+// multisplit variant (and of the radix sort ranking kernel, which is why
+// they live in the primitives layer).
+//
+// The idea: instead of materializing the binary bucket matrix H-bar, each
+// thread keeps one 32-bit bitmap in a register.  ceil(log2 m) ballot rounds
+// broadcast one bit of every lane's bucket ID; each thread intersects the
+// ballots compatible with the bucket it is responsible for (histogram) or
+// with its own element's bucket (offsets).  A final popc produces the
+// count / rank.  No shared memory, no divergence.
+#pragma once
+
+#include <vector>
+
+#include "primitives/warp_scan.hpp"
+
+namespace ms::prim {
+
+/// Algorithm 2: warp-level histogram for m <= 32 buckets.
+/// Lane i returns the number of valid elements of this warp whose bucket ID
+/// is i.  `valid` masks the lanes that actually hold elements (tail warps);
+/// invalid lanes are counted in no bucket.
+inline LaneArray<u32> warp_histogram(Warp& w, const LaneArray<u32>& bucket_id,
+                                     u32 m, LaneMask valid = kFullMask) {
+  check(m >= 1 && m <= kWarpSize, "warp_histogram: m out of range");
+  const u32 rounds = ceil_log2(m);
+  // Each lane is responsible for the bucket with index == its lane ID.
+  LaneArray<u32> histo_bmp = LaneArray<u32>::filled(valid);
+  LaneArray<u32> bits = bucket_id;
+  for (u32 k = 0; k < rounds; ++k) {
+    const LaneMask ballot =
+        w.ballot(bits.map([](u32 b) { return b & 1u; }), valid);
+    w.charge(1);  // select-and-mask (LOP3 on real hardware)
+    for (u32 lane = 0; lane < kWarpSize; ++lane) {
+      const bool my_bit = (lane >> k) & 1u;
+      histo_bmp[lane] &= my_bit ? ballot : ~ballot;
+    }
+    bits = bits.map([](u32 b) { return b >> 1; });
+  }
+  return w.popc(histo_bmp);
+}
+
+/// Algorithm 3: warp-level local offsets for m <= 32 buckets.
+/// Lane i returns the number of valid elements with lane index < i that
+/// share lane i's bucket -- its stable rank within the bucket, local to the
+/// warp.
+inline LaneArray<u32> warp_offsets(Warp& w, const LaneArray<u32>& bucket_id,
+                                   u32 m, LaneMask valid = kFullMask) {
+  check(m >= 1 && m <= kWarpSize, "warp_offsets: m out of range");
+  const u32 rounds = ceil_log2(m);
+  LaneArray<u32> offset_bmp = LaneArray<u32>::filled(valid);
+  LaneArray<u32> bits = bucket_id;
+  for (u32 k = 0; k < rounds; ++k) {
+    const LaneMask ballot =
+        w.ballot(bits.map([](u32 b) { return b & 1u; }), valid);
+    w.charge(1);
+    for (u32 lane = 0; lane < kWarpSize; ++lane) {
+      // Keep lanes whose broadcast bit matches *my element's* bit.
+      const bool my_bit = bits[lane] & 1u;
+      offset_bmp[lane] &= my_bit ? ballot : ~ballot;
+    }
+    bits = bits.map([](u32 b) { return b >> 1; });
+  }
+  // Count strictly-preceding set bits: mask bits [0, lane).
+  w.charge(1);
+  LaneArray<u32> masked;
+  for (u32 lane = 0; lane < kWarpSize; ++lane) {
+    const u32 below = (lane == 0) ? 0u : (kFullMask >> (kWarpSize - lane));
+    masked[lane] = offset_bmp[lane] & below;
+  }
+  return w.popc(masked);
+}
+
+/// Merged histogram + local offsets (the paper notes Algorithms 2 and 3
+/// "share many common operations [and] can be merged into a single
+/// procedure" -- one ballot per round feeds both bitmaps).  This is what
+/// the post-scan stages use, where both results are needed.
+struct WarpRank {
+  LaneArray<u32> histogram;  // lane d: count of bucket d
+  LaneArray<u32> offsets;    // lane i: stable rank of element i in its bucket
+};
+
+inline WarpRank warp_rank(Warp& w, const LaneArray<u32>& bucket_id, u32 m,
+                          LaneMask valid = kFullMask) {
+  check(m >= 1 && m <= kWarpSize, "warp_rank: m out of range");
+  const u32 rounds = ceil_log2(m);
+  LaneArray<u32> histo_bmp = LaneArray<u32>::filled(valid);
+  LaneArray<u32> offset_bmp = LaneArray<u32>::filled(valid);
+  LaneArray<u32> bits = bucket_id;
+  for (u32 k = 0; k < rounds; ++k) {
+    const LaneMask ballot =
+        w.ballot(bits.map([](u32 b) { return b & 1u; }), valid);
+    w.charge(2);  // two select-and-mask updates off one ballot
+    for (u32 lane = 0; lane < kWarpSize; ++lane) {
+      const bool my_bit = bits[lane] & 1u;
+      const bool assigned_bit = (lane >> k) & 1u;
+      offset_bmp[lane] &= my_bit ? ballot : ~ballot;
+      histo_bmp[lane] &= assigned_bit ? ballot : ~ballot;
+    }
+    bits = bits.map([](u32 b) { return b >> 1; });
+  }
+  WarpRank r;
+  r.histogram = w.popc(histo_bmp);
+  w.charge(1);
+  LaneArray<u32> masked;
+  for (u32 lane = 0; lane < kWarpSize; ++lane) {
+    const u32 below = (lane == 0) ? 0u : (kFullMask >> (kWarpSize - lane));
+    masked[lane] = offset_bmp[lane] & below;
+  }
+  r.offsets = w.popc(masked);
+  return r;
+}
+
+/// Section 5.3 extension: histogram for m > 32.  Thread i is responsible
+/// for buckets i, i+32, i+64, ...; the result is one LaneArray per group of
+/// 32 buckets (group g covers buckets [32g, 32g+32)).  All histogram state
+/// scales by ceil(m/32), exactly the linearization the paper describes.
+inline std::vector<LaneArray<u32>> warp_histogram_multi(
+    Warp& w, const LaneArray<u32>& bucket_id, u32 m,
+    LaneMask valid = kFullMask) {
+  const u32 groups = static_cast<u32>(ceil_div(m, kWarpSize));
+  const u32 rounds = ceil_log2(m);
+  std::vector<LaneArray<u32>> bmp(groups, LaneArray<u32>::filled(valid));
+  LaneArray<u32> bits = bucket_id;
+  for (u32 k = 0; k < rounds; ++k) {
+    const LaneMask ballot =
+        w.ballot(bits.map([](u32 b) { return b & 1u; }), valid);
+    for (u32 g = 0; g < groups; ++g) {
+      w.charge(1);
+      for (u32 lane = 0; lane < kWarpSize; ++lane) {
+        const u32 bucket = g * kWarpSize + lane;
+        const bool my_bit = (bucket >> k) & 1u;
+        bmp[g][lane] &= my_bit ? ballot : ~ballot;
+      }
+    }
+    w.charge(1);
+    bits = bits.map([](u32 b) { return b >> 1; });
+  }
+  std::vector<LaneArray<u32>> histo(groups);
+  for (u32 g = 0; g < groups; ++g) histo[g] = w.popc(bmp[g]);
+  return histo;
+}
+
+/// Section 5.3 extension: local offsets for m > 32.  The offset bitmap is
+/// per-element (not per-responsible-bucket), so a single bitmap suffices
+/// regardless of m; only the number of ballot rounds grows.
+inline LaneArray<u32> warp_offsets_multi(Warp& w,
+                                         const LaneArray<u32>& bucket_id,
+                                         u32 m, LaneMask valid = kFullMask) {
+  const u32 rounds = ceil_log2(m);
+  LaneArray<u32> offset_bmp = LaneArray<u32>::filled(valid);
+  LaneArray<u32> bits = bucket_id;
+  for (u32 k = 0; k < rounds; ++k) {
+    const LaneMask ballot =
+        w.ballot(bits.map([](u32 b) { return b & 1u; }), valid);
+    w.charge(1);
+    for (u32 lane = 0; lane < kWarpSize; ++lane) {
+      const bool my_bit = bits[lane] & 1u;
+      offset_bmp[lane] &= my_bit ? ballot : ~ballot;
+    }
+    bits = bits.map([](u32 b) { return b >> 1; });
+  }
+  w.charge(1);
+  LaneArray<u32> masked;
+  for (u32 lane = 0; lane < kWarpSize; ++lane) {
+    const u32 below = (lane == 0) ? 0u : (kFullMask >> (kWarpSize - lane));
+    masked[lane] = offset_bmp[lane] & below;
+  }
+  return w.popc(masked);
+}
+
+}  // namespace ms::prim

@@ -1,0 +1,71 @@
+// Warp-level scan and reduction built from shuffle instructions, exactly as
+// on real GPUs: log2(32) = 5 shfl_up/shfl_down rounds, no shared memory.
+// These are the building blocks for the device-wide scan, the multisplit
+// post-scan stages, and the radix sort ranking kernels.
+#pragma once
+
+#include "sim/sim.hpp"
+
+namespace ms::prim {
+
+using sim::Warp;
+
+/// Inclusive plus-scan across the warp: out[i] = sum of v[0..i].
+/// All 32 lanes participate (the usual warp-synchronous contract); the
+/// caller masks out tail lanes by passing zeros for them.
+template <typename T>
+LaneArray<T> warp_inclusive_scan(Warp& w, LaneArray<T> v) {
+  for (u32 d = 1; d < kWarpSize; d <<= 1) {
+    const LaneArray<T> up = w.shfl_up(v, d);
+    w.charge(1);  // predicated add
+    for (u32 lane = d; lane < kWarpSize; ++lane) v[lane] += up[lane];
+  }
+  return v;
+}
+
+/// Exclusive plus-scan: out[i] = sum of v[0..i-1], out[0] = 0.
+template <typename T>
+LaneArray<T> warp_exclusive_scan(Warp& w, const LaneArray<T>& v) {
+  LaneArray<T> inc = warp_inclusive_scan(w, v);
+  LaneArray<T> out = w.shfl_up(inc, 1);
+  out[0] = T{0};
+  return out;
+}
+
+/// Warp-wide sum, returned in every lane (butterfly reduction).
+template <typename T>
+LaneArray<T> warp_reduce_sum(Warp& w, LaneArray<T> v) {
+  for (u32 d = kWarpSize / 2; d >= 1; d >>= 1) {
+    const LaneArray<T> other = w.shfl_xor(v, d);
+    w.charge(1);
+    for (u32 lane = 0; lane < kWarpSize; ++lane) v[lane] += other[lane];
+  }
+  return v;
+}
+
+/// Warp-wide maximum, returned in every lane.
+template <typename T>
+LaneArray<T> warp_reduce_max(Warp& w, LaneArray<T> v) {
+  for (u32 d = kWarpSize / 2; d >= 1; d >>= 1) {
+    const LaneArray<T> other = w.shfl_xor(v, d);
+    w.charge(1);
+    for (u32 lane = 0; lane < kWarpSize; ++lane)
+      v[lane] = std::max(v[lane], other[lane]);
+  }
+  return v;
+}
+
+/// Elementwise helpers for warp registers; each is one warp instruction.
+template <typename T>
+LaneArray<T> lane_add(Warp& w, const LaneArray<T>& a, const LaneArray<T>& b) {
+  w.charge(1);
+  return a.zip(b, [](T x, T y) { return static_cast<T>(x + y); });
+}
+
+template <typename T>
+LaneArray<T> lane_add_scalar(Warp& w, const LaneArray<T>& a, T b) {
+  w.charge(1);
+  return a.map([b](T x) { return static_cast<T>(x + b); });
+}
+
+}  // namespace ms::prim

@@ -1,0 +1,213 @@
+// Block execution context: NW warps, a shared-memory arena, and barriers.
+//
+// Block kernels are written as explicit barrier-separated phases:
+//
+//   launch_blocks(dev, "k", nblocks, NW, [&](Block& blk) {
+//     auto h = blk.shared<u32>(m * blk.num_warps());
+//     blk.for_each_warp([&](Warp& w) { /* phase 1 */ });
+//     blk.sync();
+//     blk.for_each_warp([&](Warp& w) { /* phase 2 */ });
+//   });
+//
+// Running each warp of a phase to completion before the barrier is
+// semantically identical to lockstep execution with __syncthreads(), because
+// no intra-phase communication between warps is allowed (the same contract
+// real warp-synchronous CUDA code relies on).
+//
+// Shared memory accesses are charged with bank-conflict accounting: shared
+// memory has 32 four-byte banks; a warp access is serialized once per
+// distinct word it needs from the same bank (broadcasts of one word are
+// free, as on real hardware).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/warp.hpp"
+
+namespace ms::sim {
+
+/// A typed window into the block's shared-memory arena.  Knows its byte
+/// offset within the arena so bank numbers can be computed.  The element
+/// pointer is resolved through the arena on every access: a later
+/// shared-memory allocation may grow (reallocate) the arena, and a stale
+/// direct pointer would dangle.
+template <typename T>
+class SharedArray {
+ public:
+  SharedArray() = default;
+  SharedArray(std::vector<std::byte>* arena, u32 size, u32 byte_offset)
+      : arena_(arena), size_(size), byte_offset_(byte_offset) {}
+
+  u32 size() const { return size_; }
+  u32 byte_offset() const { return byte_offset_; }
+
+  /// Direct (uncharged) element access, for host-side checking in tests.
+  T& raw(u32 i) { return data()[i]; }
+  const T& raw(u32 i) const { return data()[i]; }
+
+ private:
+  friend class Warp;
+
+  T* data() const {
+    return reinterpret_cast<T*>(arena_->data() + byte_offset_);
+  }
+
+  std::vector<std::byte>* arena_ = nullptr;
+  u32 size_ = 0;
+  u32 byte_offset_ = 0;
+};
+
+class Block {
+ public:
+  Block(Device& dev, u32 block_id, u32 num_warps)
+      : dev_(&dev), block_id_(block_id), arena_(dev.profile().smem_bytes_per_block) {
+    warps_.reserve(num_warps);
+    for (u32 w = 0; w < num_warps; ++w) {
+      warps_.emplace_back(dev, static_cast<u64>(block_id) * num_warps + w, w,
+                          block_id);
+    }
+  }
+
+  Device& device() const { return *dev_; }
+  u32 block_id() const { return block_id_; }
+  u32 num_warps() const { return static_cast<u32>(warps_.size()); }
+  u32 num_threads() const { return num_warps() * kWarpSize; }
+
+  /// Allocate `count` elements of shared memory (16-byte aligned, as CUDA
+  /// does for aggregate shared declarations).  Usage beyond the device's
+  /// 48 kB per-block capacity is permitted but recorded: the paper's
+  /// large-m discussion (Section 6.4) identifies shared-memory pressure as
+  /// the limiting factor, and tests assert on `peak_smem_bytes()` instead
+  /// of hard-failing mid-experiment.
+  template <typename T>
+  SharedArray<T> shared(u32 count) {
+    const u32 align = 16;
+    used_ = (used_ + align - 1) / align * align;
+    const u32 offset = used_;
+    used_ += count * static_cast<u32>(sizeof(T));
+    peak_ = std::max(peak_, used_);
+    if (used_ > arena_.size()) arena_.resize(used_);
+    return SharedArray<T>(&arena_, count, offset);
+  }
+
+  u32 peak_smem_bytes() const { return peak_; }
+  bool smem_overcommitted() const {
+    return peak_ > dev_->profile().smem_bytes_per_block;
+  }
+
+  /// __syncthreads(): a barrier between phases.  Each of the block's warps
+  /// pays the barrier overhead in issue slots.
+  void sync() {
+    dev_->events().barriers += 1;
+    dev_->events().issue_slots +=
+        static_cast<u64>(num_warps()) * dev_->profile().barrier_overhead_slots;
+  }
+
+  Warp& warp(u32 w) { return warps_[w]; }
+
+  template <typename F>
+  void for_each_warp(F&& f) {
+    for (u32 w = 0; w < warps_.size(); ++w) f(warps_[w]);
+  }
+
+ private:
+  Device* dev_;
+  u32 block_id_;
+  u32 used_ = 0;
+  u32 peak_ = 0;
+  std::vector<std::byte> arena_;
+  std::vector<Warp> warps_;
+};
+
+// ---------------------------------------------------------------------------
+// Warp shared-memory member implementations (need SharedArray's layout).
+// ---------------------------------------------------------------------------
+
+namespace detail {
+/// Bank-conflict degree of a warp-wide shared access: shared memory has 32
+/// four-byte banks; the access replays once per extra distinct word mapped
+/// to the same bank.  Returns the number of serialized passes (>= 1).
+template <typename T>
+inline u32 smem_conflict_degree(const SharedArray<T>& arr,
+                                const LaneArray<u32>& idx, LaneMask active) {
+  if (active == 0) return 0;
+  // words[b] collects the distinct word addresses lane accesses map to in
+  // bank b.  sizeof(T) is 4 or 8 in this library; handle both by counting
+  // each 4-byte word the lane touches.
+  std::array<std::array<u32, kWarpSize>, kWarpSize> words;  // guarded by counts
+  std::array<u32, kWarpSize> counts{};
+  u32 degree = 1;
+  for_each_lane(active, [&](u32 lane) {
+    const u32 base_word = (arr.byte_offset() + idx[lane] * static_cast<u32>(sizeof(T))) / 4;
+    const u32 nwords = static_cast<u32>(sizeof(T)) / 4;
+    for (u32 k = 0; k < nwords; ++k) {
+      const u32 word = base_word + k;
+      const u32 bank = word % kWarpSize;
+      bool dup = false;
+      for (u32 j = 0; j < counts[bank]; ++j) {
+        if (words[bank][j] == word) dup = true;
+      }
+      if (!dup) {
+        words[bank][counts[bank]++] = word;
+        degree = std::max(degree, counts[bank]);
+      }
+    }
+  });
+  return degree;
+}
+}  // namespace detail
+
+template <typename T>
+LaneArray<T> Warp::smem_read(const SharedArray<T>& arr,
+                             const LaneArray<u32>& idx, LaneMask active) {
+  LaneArray<T> out{};
+  if (active == 0) return out;
+  dev_->events().smem_slots += detail::smem_conflict_degree(arr, idx, active);
+  for_each_lane(active, [&](u32 lane) {
+    if (idx[lane] >= arr.size_) fail("shared memory read out of bounds");
+    out[lane] = arr.data()[idx[lane]];
+  });
+  return out;
+}
+
+template <typename T>
+void Warp::smem_write(SharedArray<T>& arr, const LaneArray<u32>& idx,
+                      const LaneArray<T>& v, LaneMask active) {
+  if (active == 0) return;
+  dev_->events().smem_slots += detail::smem_conflict_degree(arr, idx, active);
+  for_each_lane(active, [&](u32 lane) {
+    if (idx[lane] >= arr.size_) fail("shared memory write out of bounds");
+    arr.data()[idx[lane]] = v[lane];
+  });
+}
+
+template <typename T>
+LaneArray<T> Warp::smem_atomic_add(SharedArray<T>& arr,
+                                   const LaneArray<u32>& idx,
+                                   const LaneArray<T>& v, LaneMask active) {
+  LaneArray<T> out{};
+  if (active == 0) return out;
+  // Shared atomics serialize on address collisions.
+  const u32 n_active = static_cast<u32>(std::popcount(active));
+  u32 distinct = 0;
+  std::array<u32, kWarpSize> seen{};
+  for_each_lane(active, [&](u32 lane) {
+    bool dup = false;
+    for (u32 k = 0; k < distinct; ++k) {
+      if (seen[k] == idx[lane]) dup = true;
+    }
+    if (!dup) seen[distinct++] = idx[lane];
+  });
+  dev_->events().atomic_ops += n_active;
+  dev_->events().atomic_conflicts += n_active - distinct;
+  dev_->events().smem_slots += n_active;  // one pass per lane (serialized RMW)
+  for_each_lane(active, [&](u32 lane) {
+    if (idx[lane] >= arr.size_) fail("shared memory atomic out of bounds");
+    out[lane] = arr.data()[idx[lane]];
+    arr.data()[idx[lane]] += v[lane];
+  });
+  return out;
+}
+
+}  // namespace ms::sim

@@ -1,0 +1,72 @@
+// Set-associative L2 cache model.
+//
+// The GPU's L2 is what makes fine-grained scatters survivable: when many
+// warps append to the same per-bucket output cursors, their partial 32-byte
+// sectors coalesce in L2 and reach DRAM once.  The multisplit paper's
+// central trade-off -- local reordering vs. scattered writes -- only
+// reproduces faithfully if that effect exists, so we model it: an LRU
+// set-associative cache of 32-byte sectors.  Reads miss once per sector of
+// streamed data; writes to a sector still resident in L2 are free at the
+// DRAM level (write combining), and a dirty sector costs one DRAM
+// transaction when evicted or flushed.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace ms::sim {
+
+class SectorCache {
+ public:
+  struct AccessResult {
+    bool hit = false;
+    /// DRAM transactions caused by this access (miss fill and/or dirty
+    /// eviction writeback).
+    u32 dram_read_tx = 0;
+    u32 dram_write_tx = 0;
+  };
+
+  /// `capacity_bytes` / `sector_bytes` sectors arranged in `ways`-way sets.
+  SectorCache(u32 capacity_bytes, u32 ways, u32 sector_bytes);
+
+  /// Read one sector (identified by a device-wide sector index).
+  AccessResult read(u64 sector);
+
+  /// Write one sector.  Write misses allocate without a fill (the common
+  /// GPU policy for full-sector streaming stores); the DRAM cost is paid at
+  /// eviction/flush time as a writeback.
+  AccessResult write(u64 sector);
+
+  /// Write back all dirty lines; returns the number of DRAM write
+  /// transactions.  Called at the end of each kernel: a kernel's stores
+  /// must be globally visible before the next kernel launches.
+  u64 flush_dirty();
+
+  /// Drop everything (also clears statistics' working set).
+  void reset();
+
+  u32 sector_bytes() const { return sector_bytes_; }
+  u32 num_sets() const { return num_sets_; }
+  u32 ways() const { return ways_; }
+
+ private:
+  struct Line {
+    u64 tag = kInvalid;
+    u64 lru = 0;
+    bool dirty = false;
+  };
+  static constexpr u64 kInvalid = ~u64{0};
+
+  Line* find(u64 set, u64 tag);
+  Line* victim(u64 set);
+
+  u32 ways_;
+  u32 sector_bytes_;
+  u32 num_sets_;
+  u64 tick_ = 0;
+  std::vector<Line> lines_;  // num_sets_ * ways_, set-major
+};
+
+}  // namespace ms::sim

@@ -1,0 +1,42 @@
+#include "sim/cost_model.hpp"
+
+#include <algorithm>
+
+namespace ms::sim {
+
+CostBreakdown model_kernel_cost(const KernelEvents& ev, const DeviceProfile& p) {
+  CostBreakdown c;
+  const f64 dram_bytes =
+      static_cast<f64>(ev.dram_read_tx + ev.dram_write_tx) * p.transaction_bytes;
+  c.mem_time_ms = dram_bytes / (p.mem_bandwidth_gbps * 1e9) * 1e3;
+
+  const f64 slots = static_cast<f64>(ev.issue_slots) +
+                    static_cast<f64>(ev.warps_launched) * p.warp_overhead_slots +
+                    static_cast<f64>(ev.smem_slots) * p.smem_slot_weight +
+                    static_cast<f64>(ev.scatter_replays) * p.scatter_issue_penalty;
+  c.issue_time_ms = slots / (p.issue_rate_gips * 1e9) * 1e3;
+
+  c.time_ms = p.kernel_launch_us * 1e-3 + std::max(c.mem_time_ms, c.issue_time_ms);
+  return c;
+}
+
+f64 achieved_bandwidth_gbps(const KernelRecord& r) {
+  if (r.time_ms <= 0.0) return 0.0;
+  const f64 bytes = static_cast<f64>(r.events.useful_bytes_read +
+                                     r.events.useful_bytes_written);
+  return bytes / (r.time_ms * 1e-3) / 1e9;
+}
+
+f64 coalescing_efficiency(const KernelEvents& ev, const DeviceProfile& p) {
+  // Sector *touches* (L2 side), not DRAM transactions: cache hits must not
+  // make a scattered access pattern look coalesced.
+  const f64 moved =
+      static_cast<f64>(ev.l2_read_segments + ev.l2_write_segments) *
+      p.transaction_bytes;
+  if (moved <= 0.0) return 1.0;
+  const f64 useful =
+      static_cast<f64>(ev.useful_bytes_read + ev.useful_bytes_written);
+  return std::min(1.0, useful / moved);
+}
+
+}  // namespace ms::sim

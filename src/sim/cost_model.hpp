@@ -1,0 +1,37 @@
+// Turns counted kernel events into modeled milliseconds for a device.
+//
+// The model is a two-resource roofline:
+//
+//   issue_time = (issue_slots + smem_slots
+//                 + scatter_replays * scatter_issue_penalty) / issue_rate
+//   mem_time   = (dram_read_tx + dram_write_tx) * sector_bytes / bandwidth
+//   kernel     = launch_overhead + max(issue_time, mem_time)
+//
+// A kernel is either bandwidth-bound or issue-bound; launch overhead is
+// additive.  Every input to the model is a *measured* event count from the
+// simulated execution -- coalescing, L2 write combining, bank conflicts and
+// ballot-round counts all show up organically in the counters rather than
+// being assumed.
+#pragma once
+
+#include "sim/events.hpp"
+#include "sim/profile.hpp"
+
+namespace ms::sim {
+
+struct CostBreakdown {
+  f64 time_ms = 0.0;
+  f64 mem_time_ms = 0.0;
+  f64 issue_time_ms = 0.0;
+};
+
+CostBreakdown model_kernel_cost(const KernelEvents& ev, const DeviceProfile& p);
+
+/// Achieved DRAM bandwidth of a kernel in GB/s (diagnostics).
+f64 achieved_bandwidth_gbps(const KernelRecord& r);
+
+/// Fraction of moved DRAM bytes that were requested by lanes (coalescing
+/// efficiency; 1.0 = perfectly coalesced).
+f64 coalescing_efficiency(const KernelEvents& ev, const DeviceProfile& p);
+
+}  // namespace ms::sim

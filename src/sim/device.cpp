@@ -1,0 +1,90 @@
+#include "sim/device.hpp"
+
+namespace ms::sim {
+
+Device::Device(DeviceProfile profile)
+    : profile_(std::move(profile)),
+      l2_(profile_.l2_bytes, profile_.l2_ways, profile_.transaction_bytes) {}
+
+void Device::begin_kernel(std::string name) {
+  check(!in_kernel_, "begin_kernel: a kernel is already executing");
+  in_kernel_ = true;
+  current_ = KernelEvents{};
+  current_name_ = std::move(name);
+}
+
+const KernelRecord& Device::end_kernel() {
+  check(in_kernel_, "end_kernel: no kernel is executing");
+  in_kernel_ = false;
+  // Stores become globally visible at kernel end: flush dirty L2 sectors.
+  current_.dram_write_tx += l2_.flush_dirty();
+
+  KernelRecord rec;
+  rec.name = std::move(current_name_);
+  rec.events = current_;
+  const CostBreakdown c = model_kernel_cost(current_, profile_);
+  rec.time_ms = c.time_ms;
+  rec.mem_time_ms = c.mem_time_ms;
+  rec.issue_time_ms = c.issue_time_ms;
+  records_.push_back(std::move(rec));
+  return records_.back();
+}
+
+u64 Device::allocate_address_range(u64 bytes) {
+  const u64 align = profile_.transaction_bytes;
+  const u64 base = next_addr_;
+  next_addr_ += ceil_div(bytes == 0 ? 1 : bytes, align) * align;
+  return base;
+}
+
+void Device::touch_read_sectors(u64 first_sector, u32 segments) {
+  current_.l2_read_segments += segments;
+  for (u32 s = 0; s < segments; ++s) {
+    const auto r = l2_.read(first_sector + s);
+    current_.dram_read_tx += r.dram_read_tx;
+    current_.dram_write_tx += r.dram_write_tx;
+  }
+}
+
+void Device::touch_write_sectors(u64 first_sector, u32 segments) {
+  current_.l2_write_segments += segments;
+  for (u32 s = 0; s < segments; ++s) {
+    const auto r = l2_.write(first_sector + s);
+    current_.dram_read_tx += r.dram_read_tx;
+    current_.dram_write_tx += r.dram_write_tx;
+  }
+}
+
+void Device::touch_read_sector(u64 sector) {
+  current_.l2_read_segments += 1;
+  const auto r = l2_.read(sector);
+  current_.dram_read_tx += r.dram_read_tx;
+  current_.dram_write_tx += r.dram_write_tx;
+}
+
+void Device::touch_write_sector(u64 sector) {
+  current_.l2_write_segments += 1;
+  const auto r = l2_.write(sector);
+  current_.dram_read_tx += r.dram_read_tx;
+  current_.dram_write_tx += r.dram_write_tx;
+}
+
+TimingSummary Device::summary_since(u64 mark) const {
+  TimingSummary s;
+  for (u64 i = mark; i < records_.size(); ++i) s.add(records_[i]);
+  return s;
+}
+
+f64 Device::total_ms() const {
+  f64 t = 0.0;
+  for (const auto& r : records_) t += r.time_ms;
+  return t;
+}
+
+void Device::reset_stats() {
+  check(!in_kernel_, "reset_stats: kernel executing");
+  l2_.reset();
+  records_.clear();
+}
+
+}  // namespace ms::sim

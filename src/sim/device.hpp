@@ -1,0 +1,74 @@
+// The simulated device: owns the device profile, the L2 sector-cache model,
+// the per-kernel event counters and the log of executed kernels.
+//
+// Kernels are executed host-side, warp by warp, between begin_kernel() /
+// end_kernel() brackets (use the launch_* helpers in kernel.hpp rather than
+// calling these directly).  At end_kernel() the dirty L2 sectors are flushed
+// (a kernel's stores must be globally visible before the next launch) and
+// the cost model converts the counters into modeled time.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/cache.hpp"
+#include "sim/cost_model.hpp"
+#include "sim/events.hpp"
+#include "sim/profile.hpp"
+#include "sim/types.hpp"
+
+namespace ms::sim {
+
+class Device {
+ public:
+  explicit Device(DeviceProfile profile = DeviceProfile::tesla_k40c());
+
+  const DeviceProfile& profile() const { return profile_; }
+
+  // --- kernel bracketing (used by kernel.hpp) ---
+  void begin_kernel(std::string name);
+  const KernelRecord& end_kernel();
+  bool in_kernel() const { return in_kernel_; }
+
+  // --- address space for DeviceBuffer allocations ---
+  /// Reserve `bytes` of device address space, aligned to a sector.
+  u64 allocate_address_range(u64 bytes);
+
+  // --- event recording (used by Warp/Block contexts) ---
+  KernelEvents& events() { return current_; }
+
+  /// Record a warp-wide global read/write covering `segments` sectors
+  /// starting at `first_sector` (contiguous case).
+  void touch_read_sectors(u64 first_sector, u32 segments);
+  void touch_write_sectors(u64 first_sector, u32 segments);
+  /// Same, for an arbitrary (already deduplicated) sector list.
+  void touch_read_sector(u64 sector);
+  void touch_write_sector(u64 sector);
+
+  // --- kernel log / timing sections ---
+  const std::vector<KernelRecord>& records() const { return records_; }
+  void clear_records() { records_.clear(); }
+
+  /// Position marker for timing sections: summarize everything executed
+  /// after a mark() with summary_since().
+  u64 mark() const { return records_.size(); }
+  TimingSummary summary_since(u64 mark) const;
+  TimingSummary summary_all() const { return summary_since(0); }
+
+  /// Total modeled milliseconds across all recorded kernels.
+  f64 total_ms() const;
+
+  /// Reset the cache and the kernel log (buffers keep their contents).
+  void reset_stats();
+
+ private:
+  DeviceProfile profile_;
+  SectorCache l2_;
+  KernelEvents current_;
+  std::string current_name_;
+  bool in_kernel_ = false;
+  u64 next_addr_ = 0;
+  std::vector<KernelRecord> records_;
+};
+
+}  // namespace ms::sim

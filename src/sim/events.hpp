@@ -1,0 +1,88 @@
+// Event counters: everything the cost model needs, recorded while a kernel
+// executes.  Counters are plain integers accumulated by the warp/block
+// contexts; the cost model (cost_model.hpp) turns a KernelEvents into
+// simulated milliseconds for a given DeviceProfile.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace ms::sim {
+
+struct KernelEvents {
+  // --- issue-side counters (occupy warp-instruction issue slots) ---
+  /// Plain warp-wide instructions: arithmetic charges, ballots, shuffles,
+  /// population counts, predicate evaluation.
+  u64 issue_slots = 0;
+  /// Extra issue slots caused by multi-segment (non-coalesced) global
+  /// accesses: a warp access touching S segments replays S times; the
+  /// first slot is counted in `issue_slots`, the remaining S-1 here so the
+  /// scatter penalty knob can scale them separately.
+  u64 scatter_replays = 0;
+  /// Shared-memory access slots, including bank-conflict serialization
+  /// (an access with a B-way conflict contributes B slots).
+  u64 smem_slots = 0;
+
+  // --- memory-side counters ---
+  /// 32-byte DRAM transactions (L2 misses + write traffic), reads/writes.
+  u64 dram_read_tx = 0;
+  u64 dram_write_tx = 0;
+  /// Total L2 segment touches (hits + misses), for diagnostics.
+  u64 l2_read_segments = 0;
+  u64 l2_write_segments = 0;
+  /// Useful payload bytes actually requested by lanes (diagnostics; the
+  /// coalescing efficiency of a kernel is useful_bytes / (tx * 32)).
+  u64 useful_bytes_read = 0;
+  u64 useful_bytes_written = 0;
+
+  // --- structure counters ---
+  u64 warps_launched = 0;
+  u64 blocks_launched = 0;
+  u64 barriers = 0;
+  u64 atomic_ops = 0;
+  u64 atomic_conflicts = 0;
+
+  KernelEvents& operator+=(const KernelEvents& o) {
+    issue_slots += o.issue_slots;
+    scatter_replays += o.scatter_replays;
+    smem_slots += o.smem_slots;
+    dram_read_tx += o.dram_read_tx;
+    dram_write_tx += o.dram_write_tx;
+    l2_read_segments += o.l2_read_segments;
+    l2_write_segments += o.l2_write_segments;
+    useful_bytes_read += o.useful_bytes_read;
+    useful_bytes_written += o.useful_bytes_written;
+    warps_launched += o.warps_launched;
+    blocks_launched += o.blocks_launched;
+    barriers += o.barriers;
+    atomic_ops += o.atomic_ops;
+    atomic_conflicts += o.atomic_conflicts;
+    return *this;
+  }
+};
+
+/// One executed kernel: its name, counted events, and modeled time.
+struct KernelRecord {
+  std::string name;
+  KernelEvents events;
+  f64 time_ms = 0.0;       // modeled end-to-end time including launch
+  f64 mem_time_ms = 0.0;   // DRAM-throughput component
+  f64 issue_time_ms = 0.0; // instruction-issue component
+};
+
+/// Aggregate of a sequence of kernels (e.g., one multisplit stage).
+struct TimingSummary {
+  f64 total_ms = 0.0;
+  u64 kernels = 0;
+  KernelEvents events;
+
+  void add(const KernelRecord& r) {
+    total_ms += r.time_ms;
+    kernels += 1;
+    events += r.events;
+  }
+};
+
+}  // namespace ms::sim

@@ -1,0 +1,107 @@
+// Kernel launch helpers.
+//
+// launch_warps:  a grid of independent warps; the body sees (Warp&, warp_id).
+// launch_blocks: a grid of blocks of NW warps with shared memory; the body
+//                sees (Block&) and structures itself into barrier phases.
+//
+// Both bracket the execution with Device::begin/end_kernel so each launch
+// becomes one KernelRecord with its own cost.  `device_fill` and
+// `device_copy` are charged utility kernels (a real implementation would
+// call cudaMemset/cudaMemcpy D2D, which cost bandwidth just the same).
+#pragma once
+
+#include <utility>
+
+#include "sim/block.hpp"
+
+namespace ms::sim {
+
+template <typename F>
+void launch_warps(Device& dev, const char* name, u64 num_warps, F&& body) {
+  dev.begin_kernel(name);
+  dev.events().warps_launched += num_warps;
+  for (u64 w = 0; w < num_warps; ++w) {
+    Warp warp(dev, w);
+    body(warp, w);
+  }
+  dev.end_kernel();
+}
+
+template <typename F>
+void launch_blocks(Device& dev, const char* name, u32 num_blocks,
+                   u32 warps_per_block, F&& body) {
+  check(warps_per_block > 0, "launch_blocks: need at least one warp");
+  dev.begin_kernel(name);
+  dev.events().blocks_launched += num_blocks;
+  dev.events().warps_launched +=
+      static_cast<u64>(num_blocks) * warps_per_block;
+  for (u32 b = 0; b < num_blocks; ++b) {
+    Block blk(dev, b, warps_per_block);
+    body(blk);
+  }
+  dev.end_kernel();
+}
+
+/// Active-lane mask for a tile of `count` elements starting at a lane-0
+/// position: lanes [0, count) are active.  count must be <= 32.
+inline LaneMask tail_mask(u64 count) {
+  if (count == 0) return 0;
+  if (count >= kWarpSize) return kFullMask;
+  return kFullMask >> (kWarpSize - count);
+}
+
+/// Charged device-side fill (cudaMemset equivalent).  Grid-stride style
+/// with several items per thread, like a tuned memset kernel.
+template <typename T>
+void device_fill(Device& dev, DeviceBuffer<T>& buf, T value) {
+  const u64 n = buf.size();
+  constexpr u32 kItems = 4;
+  launch_warps(dev, "device_fill", ceil_div(n, kWarpSize * kItems),
+               [&](Warp& w, u64 wid) {
+                 for (u32 r = 0; r < kItems; ++r) {
+                   const u64 base = (wid * kItems + r) * kWarpSize;
+                   if (base >= n) break;
+                   w.store(buf, base, LaneArray<T>::filled(value),
+                           tail_mask(n - base));
+                 }
+               });
+}
+
+/// Charged ranged device-to-device copy of `n` elements.
+template <typename T>
+void device_copy_n(Device& dev, DeviceBuffer<T>& dst, u64 dst_off,
+                   const DeviceBuffer<T>& src, u64 src_off, u64 n) {
+  check(dst_off + n <= dst.size() && src_off + n <= src.size(),
+        "device_copy_n: range out of bounds");
+  constexpr u32 kItems = 4;
+  launch_warps(dev, "device_copy", ceil_div(n, kWarpSize * kItems),
+               [&](Warp& w, u64 wid) {
+                 for (u32 r = 0; r < kItems; ++r) {
+                   const u64 base = (wid * kItems + r) * kWarpSize;
+                   if (base >= n) break;
+                   const LaneMask active = tail_mask(n - base);
+                   const auto v = w.load(src, src_off + base, active);
+                   w.store(dst, dst_off + base, v, active);
+                 }
+               });
+}
+
+/// Charged device-to-device copy (cudaMemcpyDeviceToDevice equivalent).
+template <typename T>
+void device_copy(Device& dev, DeviceBuffer<T>& dst, const DeviceBuffer<T>& src) {
+  check(dst.size() >= src.size(), "device_copy: destination too small");
+  const u64 n = src.size();
+  constexpr u32 kItems = 4;
+  launch_warps(dev, "device_copy", ceil_div(n, kWarpSize * kItems),
+               [&](Warp& w, u64 wid) {
+                 for (u32 r = 0; r < kItems; ++r) {
+                   const u64 base = (wid * kItems + r) * kWarpSize;
+                   if (base >= n) break;
+                   const LaneMask active = tail_mask(n - base);
+                   const auto v = w.load(src, base, active);
+                   w.store(dst, base, v, active);
+                 }
+               });
+}
+
+}  // namespace ms::sim

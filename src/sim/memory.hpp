@@ -1,0 +1,62 @@
+// Global-memory buffers.
+//
+// A DeviceBuffer<T> is a typed allocation in the simulated device's address
+// space.  Host code may read/write it freely (that models cudaMemcpy-style
+// setup and verification, which the paper excludes from timing); kernels
+// must access it through the Warp context so that every access is charged
+// for coalescing and DRAM traffic.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sim/device.hpp"
+#include "sim/types.hpp"
+
+namespace ms::sim {
+
+template <typename T>
+class DeviceBuffer {
+ public:
+  DeviceBuffer() : dev_(nullptr), base_addr_(0) {}
+
+  DeviceBuffer(Device& dev, u64 count)
+      : dev_(&dev),
+        base_addr_(dev.allocate_address_range(count * sizeof(T))),
+        data_(count) {}
+
+  DeviceBuffer(Device& dev, std::span<const T> init)
+      : DeviceBuffer(dev, init.size()) {
+    std::copy(init.begin(), init.end(), data_.begin());
+  }
+
+  // Movable, not copyable: a buffer is a unique allocation.
+  DeviceBuffer(const DeviceBuffer&) = delete;
+  DeviceBuffer& operator=(const DeviceBuffer&) = delete;
+  DeviceBuffer(DeviceBuffer&&) noexcept = default;
+  DeviceBuffer& operator=(DeviceBuffer&&) noexcept = default;
+
+  u64 size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+  u64 base_address() const { return base_addr_; }
+  Device& device() const { return *dev_; }
+
+  /// Host-side view (setup / verification only; not charged).
+  std::span<T> host() { return data_; }
+  std::span<const T> host() const { return data_; }
+  T& operator[](u64 i) { return data_[i]; }
+  const T& operator[](u64 i) const { return data_[i]; }
+
+  /// Byte address of element i in the device address space.
+  u64 address_of(u64 i) const { return base_addr_ + i * sizeof(T); }
+
+  /// Host-side fill (setup only).
+  void fill(const T& v) { std::fill(data_.begin(), data_.end(), v); }
+
+ private:
+  Device* dev_;
+  u64 base_addr_;
+  std::vector<T> data_;
+};
+
+}  // namespace ms::sim

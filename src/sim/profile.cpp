@@ -1,0 +1,57 @@
+#include "sim/profile.hpp"
+
+namespace ms::sim {
+
+DeviceProfile DeviceProfile::tesla_k40c() {
+  DeviceProfile p;
+  p.name = "Tesla K40c (Kepler)";
+  p.mem_bandwidth_gbps = 288.0;
+  // 15 SMX x 745 MHz, with modest dual-issue: ~16 G warp-instructions/s.
+  p.issue_rate_gips = 16.0;
+  p.kernel_launch_us = 5.0;
+  p.transaction_bytes = 32;
+  p.l2_bytes = 1536 * 1024;
+  p.l2_ways = 16;
+  p.warp_overhead_slots = 12;
+  p.smem_slot_weight = 0.5;
+  // Extra cost per non-coalesced line: replays occupy LSU slots and MSHRs
+  // and their latency is only partially hidden, so a fragmented access
+  // costs more than its line count alone.
+  p.scatter_issue_penalty = 1.5;
+  return p;
+}
+
+DeviceProfile DeviceProfile::gtx_750_ti() {
+  DeviceProfile p;
+  p.name = "GeForce GTX 750 Ti (Maxwell)";
+  p.mem_bandwidth_gbps = 86.4;
+  // 5 SMM x 1020 MHz: ~6.4 G warp-instructions/s with dual-issue.
+  p.issue_rate_gips = 6.4;
+  p.kernel_launch_us = 5.0;
+  p.transaction_bytes = 32;
+  p.l2_bytes = 2048 * 1024;
+  p.l2_ways = 16;
+  p.warp_overhead_slots = 12;
+  p.smem_slot_weight = 0.5;
+  // Fewer resident warps and a shallower memory pipeline: scattered access
+  // latency is hidden less well than on the K40c (paper Section 6.3).
+  p.scatter_issue_penalty = 2.0;
+  return p;
+}
+
+DeviceProfile DeviceProfile::speed_of_light() {
+  DeviceProfile p;
+  p.name = "Speed of light (K40c bandwidth, free compute)";
+  p.mem_bandwidth_gbps = 288.0;
+  p.issue_rate_gips = 1e9;  // compute takes no time
+  p.kernel_launch_us = 0.0;
+  p.transaction_bytes = 32;
+  p.l2_bytes = 1536 * 1024;
+  p.l2_ways = 16;
+  p.warp_overhead_slots = 0;
+  p.smem_slot_weight = 0.0;
+  p.scatter_issue_penalty = 0.0;
+  return p;
+}
+
+}  // namespace ms::sim

@@ -1,0 +1,70 @@
+// Device profiles: the handful of architectural constants the cost model
+// needs to turn counted simulator events into milliseconds for a specific
+// GPU.  Two presets correspond to the two boards in the paper's evaluation
+// (Tesla K40c / Kepler and GeForce GTX 750 Ti / Maxwell); a third,
+// "speed-of-light", models the paper's Section 6.2.2 bound where computation
+// is free and every access is fully coalesced.
+#pragma once
+
+#include <string>
+
+#include "sim/types.hpp"
+
+namespace ms::sim {
+
+struct DeviceProfile {
+  std::string name;
+
+  /// Peak DRAM bandwidth in GB/s (1e9 bytes per second).
+  f64 mem_bandwidth_gbps = 288.0;
+
+  /// Aggregate warp-instruction issue throughput of the whole device, in
+  /// warp-instructions per second.  A warp-wide global access that touches
+  /// S memory segments occupies S issue slots (load-store unit replays);
+  /// a shared-memory access with a B-way bank conflict occupies B slots.
+  f64 issue_rate_gips = 16.0;  // G warp-instructions / s
+
+  /// Fixed host-side cost of launching one kernel, microseconds.
+  f64 kernel_launch_us = 5.0;
+
+  /// Memory transaction (L2 <-> DRAM line) size in bytes.  Kepler and
+  /// Maxwell move 32-byte sectors between L2 and DRAM.
+  u32 transaction_bytes = 32;
+
+  /// L2 cache geometry used by the write-combining / reuse model.
+  u32 l2_bytes = 1536 * 1024;
+  u32 l2_ways = 16;
+
+  /// Fixed prologue/epilogue cost of one warp's kernel execution, in issue
+  /// slots: address setup, bounds predicates, loop bookkeeping -- the
+  /// per-warp work the simulator's charged operations don't see.
+  u32 warp_overhead_slots = 12;
+
+  /// Issue slots each warp burns at a __syncthreads(): pipeline drain and
+  /// re-launch skew.  Block-wide algorithms with many barrier-separated
+  /// phases (block-level multisplit's multi-scans) pay this; warp-
+  /// synchronous code does not -- one of the paper's closing lessons.
+  u32 barrier_overhead_slots = 1;
+
+  /// Relative issue cost of a shared-memory slot versus an ALU slot.
+  /// Shared-memory traffic flows through the LSU pipe and overlaps with
+  /// ALU issue on Kepler/Maxwell, so it is cheaper than 1.0.
+  f64 smem_slot_weight = 0.5;
+
+  /// How well the device hides the latency of scattered (multi-segment)
+  /// accesses.  1.0 = perfectly hidden (only throughput costs remain);
+  /// larger values charge extra issue slots per non-ideal segment.  The
+  /// paper observes (Section 6.3) that Maxwell-era parts punish
+  /// non-coalesced traffic harder than the K40c, which is what this knob
+  /// expresses.
+  f64 scatter_issue_penalty = 1.5;
+
+  /// Shared memory capacity per block in bytes (48 kB on both boards).
+  u32 smem_bytes_per_block = 48 * 1024;
+
+  static DeviceProfile tesla_k40c();
+  static DeviceProfile gtx_750_ti();
+  static DeviceProfile speed_of_light();
+};
+
+}  // namespace ms::sim

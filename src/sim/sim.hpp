@@ -1,0 +1,13 @@
+// Umbrella header for the SIMT simulator substrate.
+#pragma once
+
+#include "sim/block.hpp"
+#include "sim/cache.hpp"
+#include "sim/cost_model.hpp"
+#include "sim/device.hpp"
+#include "sim/events.hpp"
+#include "sim/kernel.hpp"
+#include "sim/memory.hpp"
+#include "sim/profile.hpp"
+#include "sim/types.hpp"
+#include "sim/warp.hpp"

@@ -1,0 +1,123 @@
+// Fundamental types for the SIMT simulator.
+//
+// The simulator executes GPU-style kernels on the host, warp by warp, with
+// all 32 lanes of a warp advancing in lockstep.  A `LaneArray<T>` is the
+// simulator's picture of one warp-wide register: element i is the value the
+// register holds in lane i.  All warp-wide intrinsics (ballot, shfl, popc)
+// and all warp-wide memory instructions operate on LaneArrays.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ms {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+using f32 = float;
+using f64 = double;
+
+inline constexpr u32 kWarpSize = 32;
+
+/// One bit per lane of a warp; bit i corresponds to lane i.
+using LaneMask = u32;
+inline constexpr LaneMask kFullMask = 0xFFFFFFFFu;
+
+/// Throwing check used across the library: simulator misuse is a programming
+/// error and must not be silently ignored, but we prefer an exception with a
+/// message over an abort so tests can assert on failures.
+[[noreturn]] inline void fail(const std::string& msg) {
+  throw std::logic_error("ms: " + msg);
+}
+
+inline void check(bool ok, const char* msg) {
+  if (!ok) fail(msg);
+}
+
+/// A warp-wide register: one value of type T per lane.
+template <typename T>
+class LaneArray {
+ public:
+  constexpr LaneArray() : v_{} {}
+
+  /// Broadcast a scalar into every lane.
+  static constexpr LaneArray filled(T x) {
+    LaneArray a;
+    for (u32 i = 0; i < kWarpSize; ++i) a.v_[i] = x;
+    return a;
+  }
+
+  /// Lane i holds i (the CUDA `laneIdx`).
+  static constexpr LaneArray iota(T base = T{0}) {
+    LaneArray a;
+    for (u32 i = 0; i < kWarpSize; ++i) a.v_[i] = static_cast<T>(base + static_cast<T>(i));
+    return a;
+  }
+
+  constexpr T& operator[](u32 lane) { return v_[lane]; }
+  constexpr const T& operator[](u32 lane) const { return v_[lane]; }
+
+  /// Elementwise transform; `f` is applied per active lane in lane order.
+  template <typename F>
+  constexpr auto map(F&& f) const {
+    LaneArray<decltype(f(v_[0]))> out;
+    for (u32 i = 0; i < kWarpSize; ++i) out[i] = f(v_[i]);
+    return out;
+  }
+
+  template <typename U, typename F>
+  constexpr auto zip(const LaneArray<U>& other, F&& f) const {
+    LaneArray<decltype(f(v_[0], other[0]))> out;
+    for (u32 i = 0; i < kWarpSize; ++i) out[i] = f(v_[i], other[i]);
+    return out;
+  }
+
+  std::string to_string() const {
+    std::ostringstream os;
+    os << "[";
+    for (u32 i = 0; i < kWarpSize; ++i) os << (i ? " " : "") << +v_[i];
+    os << "]";
+    return os.str();
+  }
+
+ private:
+  std::array<T, kWarpSize> v_;
+};
+
+/// Iterate over the set bits of a lane mask (ascending lane order).
+template <typename F>
+inline void for_each_lane(LaneMask mask, F&& f) {
+  while (mask != 0) {
+    const u32 lane = static_cast<u32>(std::countr_zero(mask));
+    f(lane);
+    mask &= mask - 1;
+  }
+}
+
+inline constexpr bool lane_active(LaneMask mask, u32 lane) {
+  return (mask >> lane) & 1u;
+}
+
+/// ceil(a / b) for positive integers.
+inline constexpr u64 ceil_div(u64 a, u64 b) { return (a + b - 1) / b; }
+
+/// ceil(log2(x)) with the convention ceil_log2(0) == ceil_log2(1) == 0.
+inline constexpr u32 ceil_log2(u64 x) {
+  u32 bits = 0;
+  u64 v = 1;
+  while (v < x) {
+    v <<= 1;
+    ++bits;
+  }
+  return bits;
+}
+
+}  // namespace ms

@@ -1,0 +1,388 @@
+// The warp execution context.
+//
+// Kernels in this library are written warp-synchronously: the unit of
+// execution is a 32-lane warp whose lanes advance in lockstep, exactly as
+// CUDA warps do under SIMT control.  A Warp exposes
+//
+//   * the CUDA warp-wide intrinsics the paper's algorithms are built from
+//     (`ballot`, `shfl`, `shfl_up`, `shfl_down`, `shfl_xor`, `popc`), with
+//     bit-exact semantics;
+//   * charged global-memory instructions (`load`/`store` for unit-stride,
+//     `gather`/`scatter` for arbitrary lane addresses, warp-wide atomics) --
+//     each access counts the distinct 32-byte sectors its lane addresses
+//     touch and routes them through the device's L2 model;
+//   * charged shared-memory instructions with bank-conflict accounting.
+//
+// Divergence is expressed by explicit active-lane masks: a lane outside the
+// mask neither reads, writes, nor contributes to a ballot, matching the
+// behaviour of predicated-off CUDA threads.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <bit>
+
+#include "sim/memory.hpp"
+#include "sim/types.hpp"
+
+namespace ms::sim {
+
+template <typename T>
+class SharedArray;  // defined in block.hpp
+
+class Warp {
+ public:
+  Warp(Device& dev, u64 global_warp_id, u32 warp_in_block = 0, u32 block_id = 0)
+      : dev_(&dev),
+        global_warp_id_(global_warp_id),
+        warp_in_block_(warp_in_block),
+        block_id_(block_id) {}
+
+  Device& device() const { return *dev_; }
+  u64 warp_id() const { return global_warp_id_; }
+  u32 warp_in_block() const { return warp_in_block_; }
+  u32 block_id() const { return block_id_; }
+
+  /// lane_id()[i] == i, the CUDA laneIdx.
+  static LaneArray<u32> lane_id() { return LaneArray<u32>::iota(); }
+
+  /// Charge `slots` warp-instruction issue slots of plain arithmetic.
+  /// Algorithms call this for the address/bookkeeping math that the
+  /// simulator does not see as an intrinsic.
+  void charge(u64 slots) { dev_->events().issue_slots += slots; }
+
+  // ---------------------------------------------------------------- ballot
+  /// CUDA __ballot: bit i of the result is pred[i] != 0 for active lanes;
+  /// inactive lanes contribute 0.
+  LaneMask ballot(const LaneArray<u32>& pred, LaneMask active = kFullMask) {
+    dev_->events().issue_slots += 1;
+    LaneMask out = 0;
+    for_each_lane(active, [&](u32 lane) {
+      if (pred[lane] != 0) out |= (1u << lane);
+    });
+    return out;
+  }
+
+  /// CUDA __any: true if any active lane's predicate is non-zero.
+  bool any(const LaneArray<u32>& pred, LaneMask active = kFullMask) {
+    dev_->events().issue_slots += 1;
+    bool out = false;
+    for_each_lane(active, [&](u32 lane) { out |= (pred[lane] != 0); });
+    return out;
+  }
+
+  /// CUDA __all: true if every active lane's predicate is non-zero.
+  bool all(const LaneArray<u32>& pred, LaneMask active = kFullMask) {
+    dev_->events().issue_slots += 1;
+    bool out = true;
+    for_each_lane(active, [&](u32 lane) { out &= (pred[lane] != 0); });
+    return out;
+  }
+
+  // ----------------------------------------------------------------- shfl
+  /// CUDA __shfl: every active lane reads `v` from lane src[i] (mod 32).
+  template <typename T>
+  LaneArray<T> shfl(const LaneArray<T>& v, const LaneArray<u32>& src,
+                    LaneMask active = kFullMask) {
+    dev_->events().issue_slots += 1;
+    LaneArray<T> out = v;
+    for_each_lane(active, [&](u32 lane) { out[lane] = v[src[lane] % kWarpSize]; });
+    return out;
+  }
+
+  /// __shfl with a uniform source lane.
+  template <typename T>
+  LaneArray<T> shfl(const LaneArray<T>& v, u32 src_lane,
+                    LaneMask active = kFullMask) {
+    dev_->events().issue_slots += 1;
+    LaneArray<T> out = v;
+    for_each_lane(active,
+                  [&](u32 lane) { out[lane] = v[src_lane % kWarpSize]; });
+    return out;
+  }
+
+  /// CUDA __shfl_up: lane i reads lane i-delta; lanes with i < delta keep
+  /// their own value.
+  template <typename T>
+  LaneArray<T> shfl_up(const LaneArray<T>& v, u32 delta,
+                       LaneMask active = kFullMask) {
+    dev_->events().issue_slots += 1;
+    LaneArray<T> out = v;
+    for_each_lane(active, [&](u32 lane) {
+      if (lane >= delta) out[lane] = v[lane - delta];
+    });
+    return out;
+  }
+
+  /// CUDA __shfl_down: lane i reads lane i+delta; top lanes keep their own.
+  template <typename T>
+  LaneArray<T> shfl_down(const LaneArray<T>& v, u32 delta,
+                         LaneMask active = kFullMask) {
+    dev_->events().issue_slots += 1;
+    LaneArray<T> out = v;
+    for_each_lane(active, [&](u32 lane) {
+      if (lane + delta < kWarpSize) out[lane] = v[lane + delta];
+    });
+    return out;
+  }
+
+  /// CUDA __shfl_xor: lane i reads lane i^mask.
+  template <typename T>
+  LaneArray<T> shfl_xor(const LaneArray<T>& v, u32 mask,
+                        LaneMask active = kFullMask) {
+    dev_->events().issue_slots += 1;
+    LaneArray<T> out = v;
+    for_each_lane(active,
+                  [&](u32 lane) { out[lane] = v[(lane ^ mask) % kWarpSize]; });
+    return out;
+  }
+
+  // ----------------------------------------------------------------- popc
+  /// Per-lane __popc on a warp register.
+  LaneArray<u32> popc(const LaneArray<u32>& v) {
+    dev_->events().issue_slots += 1;
+    return v.map([](u32 x) { return static_cast<u32>(std::popcount(x)); });
+  }
+
+  // --------------------------------------------------- global memory: load
+  /// Unit-stride load: active lane i reads buf[base + i].
+  template <typename T>
+  LaneArray<T> load(const DeviceBuffer<T>& buf, u64 base,
+                    LaneMask active = kFullMask) {
+    LaneArray<T> out{};
+    if (active == 0) return out;
+    charge_contiguous</*is_write=*/false, T>(buf, base, active);
+    for_each_lane(active, [&](u32 lane) {
+      bounds_check(buf, base + lane);
+      out[lane] = buf[base + lane];
+    });
+    return out;
+  }
+
+  /// Unit-stride store: active lane i writes buf[base + i].
+  template <typename T>
+  void store(DeviceBuffer<T>& buf, u64 base, const LaneArray<T>& v,
+             LaneMask active = kFullMask) {
+    if (active == 0) return;
+    charge_contiguous</*is_write=*/true, T>(buf, base, active);
+    for_each_lane(active, [&](u32 lane) {
+      bounds_check(buf, base + lane);
+      buf[base + lane] = v[lane];
+    });
+  }
+
+  /// Arbitrary-address gather: active lane i reads buf[idx[i]].
+  template <typename T>
+  LaneArray<T> gather(const DeviceBuffer<T>& buf, const LaneArray<u64>& idx,
+                      LaneMask active = kFullMask) {
+    LaneArray<T> out{};
+    if (active == 0) return out;
+    charge_scattered</*is_write=*/false, T>(buf, idx, active);
+    for_each_lane(active, [&](u32 lane) {
+      bounds_check(buf, idx[lane]);
+      out[lane] = buf[idx[lane]];
+    });
+    return out;
+  }
+
+  /// Arbitrary-address scatter: active lane i writes buf[idx[i]].
+  template <typename T>
+  void scatter(DeviceBuffer<T>& buf, const LaneArray<u64>& idx,
+               const LaneArray<T>& v, LaneMask active = kFullMask) {
+    if (active == 0) return;
+    charge_scattered</*is_write=*/true, T>(buf, idx, active);
+    for_each_lane(active, [&](u32 lane) {
+      bounds_check(buf, idx[lane]);
+      buf[idx[lane]] = v[lane];
+    });
+  }
+
+  /// Warp-wide global atomicAdd: returns each active lane's old value.
+  /// Lanes hitting the same address are serialized (and counted as
+  /// conflicts); distinct addresses are charged like a scatter.
+  template <typename T>
+  LaneArray<T> atomic_add(DeviceBuffer<T>& buf, const LaneArray<u64>& idx,
+                          const LaneArray<T>& v, LaneMask active = kFullMask) {
+    LaneArray<T> out{};
+    if (active == 0) return out;
+    charge_scattered</*is_write=*/true, T>(buf, idx, active);
+    // Reads the old value too.
+    charge_scattered</*is_write=*/false, T>(buf, idx, active);
+
+    const u32 n_active = static_cast<u32>(std::popcount(active));
+    u32 distinct = 0;
+    std::array<u64, kWarpSize> seen{};
+    for_each_lane(active, [&](u32 lane) {
+      bool dup = false;
+      for (u32 k = 0; k < distinct; ++k) {
+        if (seen[k] == idx[lane]) dup = true;
+      }
+      if (!dup) seen[distinct++] = idx[lane];
+    });
+    dev_->events().atomic_ops += n_active;
+    dev_->events().atomic_conflicts += n_active - distinct;
+    // Conflicting lanes replay the atomic.
+    dev_->events().issue_slots += (n_active - distinct);
+
+    for_each_lane(active, [&](u32 lane) {
+      bounds_check(buf, idx[lane]);
+      out[lane] = buf[idx[lane]];
+      buf[idx[lane]] += v[lane];
+    });
+    return out;
+  }
+
+  /// Warp-wide global atomicMin: returns each active lane's old value.
+  template <typename T>
+  LaneArray<T> atomic_min(DeviceBuffer<T>& buf, const LaneArray<u64>& idx,
+                          const LaneArray<T>& v, LaneMask active = kFullMask) {
+    LaneArray<T> out{};
+    if (active == 0) return out;
+    charge_scattered</*is_write=*/true, T>(buf, idx, active);
+    charge_scattered</*is_write=*/false, T>(buf, idx, active);
+    const u32 n_active = static_cast<u32>(std::popcount(active));
+    u32 distinct = 0;
+    std::array<u64, kWarpSize> seen{};
+    for_each_lane(active, [&](u32 lane) {
+      bool dup = false;
+      for (u32 k = 0; k < distinct; ++k) {
+        if (seen[k] == idx[lane]) dup = true;
+      }
+      if (!dup) seen[distinct++] = idx[lane];
+    });
+    dev_->events().atomic_ops += n_active;
+    dev_->events().atomic_conflicts += n_active - distinct;
+    dev_->events().issue_slots += (n_active - distinct);
+    for_each_lane(active, [&](u32 lane) {
+      bounds_check(buf, idx[lane]);
+      out[lane] = buf[idx[lane]];
+      buf[idx[lane]] = std::min(buf[idx[lane]], v[lane]);
+    });
+    return out;
+  }
+
+  // --------------------------------------------------------- shared memory
+  // Implementations live in block.hpp (they need SharedArray's layout).
+  template <typename T>
+  LaneArray<T> smem_read(const SharedArray<T>& arr, const LaneArray<u32>& idx,
+                         LaneMask active = kFullMask);
+  template <typename T>
+  void smem_write(SharedArray<T>& arr, const LaneArray<u32>& idx,
+                  const LaneArray<T>& v, LaneMask active = kFullMask);
+  template <typename T>
+  LaneArray<T> smem_atomic_add(SharedArray<T>& arr, const LaneArray<u32>& idx,
+                               const LaneArray<T>& v,
+                               LaneMask active = kFullMask);
+
+ private:
+  template <typename T>
+  static void bounds_check(const DeviceBuffer<T>& buf, u64 i) {
+    if (i >= buf.size()) fail("global memory access out of bounds");
+  }
+
+  /// Charge a unit-stride access.  Issue cost: the load-store unit replays
+  /// once per extra 128-byte cache line the warp touches (a perfectly
+  /// coalesced 32 x 4 B access is one line, one issue slot); memory cost:
+  /// each covered 32-byte sector goes through the L2 model.
+  template <bool kIsWrite, typename T>
+  void charge_contiguous(const DeviceBuffer<T>& buf, u64 base, LaneMask active) {
+    const u32 tx = dev_->profile().transaction_bytes;
+    const u32 line = kLineBytes;
+    const u32 lo = static_cast<u32>(std::countr_zero(active));
+    const u32 hi = 31u - static_cast<u32>(std::countl_zero(active));
+    const u64 addr_lo = buf.address_of(base + lo);
+    const u64 addr_hi = buf.address_of(base + hi) + sizeof(T) - 1;
+    const u64 first = addr_lo / tx;
+    const u32 segments = static_cast<u32>(addr_hi / tx - first + 1);
+    const u32 lines = static_cast<u32>(addr_hi / line - addr_lo / line + 1);
+    account<kIsWrite>(lines,
+                      static_cast<u64>(std::popcount(active)) * sizeof(T));
+    if constexpr (kIsWrite) {
+      dev_->touch_write_sectors(first, segments);
+    } else {
+      dev_->touch_read_sectors(first, segments);
+    }
+  }
+
+  /// Charge an arbitrary-address access.
+  ///
+  /// Issue cost follows the coalescing model the paper itself reasons with
+  /// (Figure 2): the access is decomposed into maximal *lane-order runs* of
+  /// consecutive addresses, and each run costs one issue slot per 128-byte
+  /// line it spans.  A store whose lanes interleave two buckets therefore
+  /// pays one transaction per interleave break, which is exactly the
+  /// fragmentation that local reordering exists to remove.
+  ///
+  /// Memory cost is physical: each distinct 32-byte sector goes through the
+  /// L2 model once (the L2 still merges duplicate sectors on their way to
+  /// DRAM regardless of lane order).
+  template <bool kIsWrite, typename T>
+  void charge_scattered(const DeviceBuffer<T>& buf, const LaneArray<u64>& idx,
+                        LaneMask active) {
+    const u32 tx = dev_->profile().transaction_bytes;
+    // Lane-order run decomposition for the issue cost.
+    u32 lines = 0;
+    u64 run_start = 0, prev_end = ~u64{0};
+    for_each_lane(active, [&](u32 lane) {
+      const u64 a = buf.address_of(idx[lane]);
+      if (a != prev_end) {
+        if (prev_end != ~u64{0}) {
+          lines += static_cast<u32>((prev_end - 1) / kLineBytes -
+                                    run_start / kLineBytes + 1);
+        }
+        run_start = a;
+      }
+      prev_end = a + sizeof(T);
+    });
+    if (prev_end != ~u64{0}) {
+      lines += static_cast<u32>((prev_end - 1) / kLineBytes -
+                                run_start / kLineBytes + 1);
+    }
+
+    // Distinct-sector accounting for the DRAM/L2 side.
+    std::array<u64, 2 * kWarpSize> sectors{};
+    u32 n = 0;
+    for_each_lane(active, [&](u32 lane) {
+      const u64 a = buf.address_of(idx[lane]);
+      const u64 s0 = a / tx;
+      const u64 s1 = (a + sizeof(T) - 1) / tx;
+      sectors[n++] = s0;
+      if (s1 != s0) sectors[n++] = s1;
+    });
+    std::sort(sectors.begin(), sectors.begin() + n);
+    const u32 segments =
+        static_cast<u32>(std::unique(sectors.begin(), sectors.begin() + n) -
+                         sectors.begin());
+    account<kIsWrite>(lines,
+                      static_cast<u64>(std::popcount(active)) * sizeof(T));
+    for (u32 s = 0; s < segments; ++s) {
+      if constexpr (kIsWrite) {
+        dev_->touch_write_sector(sectors[s]);
+      } else {
+        dev_->touch_read_sector(sectors[s]);
+      }
+    }
+  }
+
+  /// L1/LSU cache-line granularity for issue replays.
+  static constexpr u32 kLineBytes = 128;
+
+  template <bool kIsWrite>
+  void account(u32 lines, u64 useful_bytes) {
+    auto& ev = dev_->events();
+    ev.issue_slots += 1;
+    ev.scatter_replays += lines - 1;
+    if constexpr (kIsWrite) {
+      ev.useful_bytes_written += useful_bytes;
+    } else {
+      ev.useful_bytes_read += useful_bytes;
+    }
+  }
+
+  Device* dev_;
+  u64 global_warp_id_;
+  u32 warp_in_block_;
+  u32 block_id_;
+};
+
+}  // namespace ms::sim

@@ -1,0 +1,69 @@
+#include "workload/distributions.hpp"
+
+#include <algorithm>
+
+namespace ms::workload {
+
+std::string to_string(Distribution d) {
+  switch (d) {
+    case Distribution::kUniform: return "uniform";
+    case Distribution::kBinomial: return "binomial";
+    case Distribution::kSkewedOne: return "0.25-uniform";
+    case Distribution::kIdentity: return "identity";
+    case Distribution::kSortedUniform: return "sorted-uniform";
+  }
+  return "?";
+}
+
+namespace {
+/// Uniform key inside bucket b of RangeBucket{m}: the bucket's key range is
+/// [ceil(b * 2^32 / m), ceil((b+1) * 2^32 / m)).
+u32 key_in_bucket(std::mt19937_64& rng, u32 b, u32 m) {
+  const u64 lo = ceil_div(static_cast<u64>(b) << 32, m);
+  const u64 hi = ceil_div((static_cast<u64>(b) + 1) << 32, m);
+  return static_cast<u32>(lo + rng() % (hi - lo));
+}
+}  // namespace
+
+std::vector<u32> generate_keys(u64 n, const WorkloadConfig& cfg) {
+  std::mt19937_64 rng(cfg.seed);
+  std::vector<u32> keys(n);
+  switch (cfg.dist) {
+    case Distribution::kUniform:
+      for (auto& k : keys) k = static_cast<u32>(rng());
+      break;
+    case Distribution::kBinomial: {
+      std::binomial_distribution<u32> bucket_of(cfg.m - 1, cfg.binomial_p);
+      for (auto& k : keys) k = key_in_bucket(rng, bucket_of(rng), cfg.m);
+      break;
+    }
+    case Distribution::kSkewedOne: {
+      const u32 heavy = cfg.m / 2;
+      std::uniform_real_distribution<f64> coin(0.0, 1.0);
+      for (auto& k : keys) {
+        if (coin(rng) < cfg.skew_uniform_fraction) {
+          k = static_cast<u32>(rng());
+        } else {
+          k = key_in_bucket(rng, heavy, cfg.m);
+        }
+      }
+      break;
+    }
+    case Distribution::kIdentity:
+      for (auto& k : keys) k = static_cast<u32>(rng() % cfg.m);
+      break;
+    case Distribution::kSortedUniform:
+      for (auto& k : keys) k = static_cast<u32>(rng());
+      std::sort(keys.begin(), keys.end());
+      break;
+  }
+  return keys;
+}
+
+std::vector<u32> identity_values(u64 n) {
+  std::vector<u32> v(n);
+  for (u64 i = 0; i < n; ++i) v[i] = static_cast<u32>(i);
+  return v;
+}
+
+}  // namespace ms::workload

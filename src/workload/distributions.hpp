@@ -1,0 +1,55 @@
+// Workload generators for the paper's evaluation (Sections 6 and 6.5).
+//
+// All experiments use 32-bit keys; the bucket function in play is
+// RangeBucket{m} (equal division of the 32-bit domain), so a key
+// distribution directly induces a bucket-occupancy histogram:
+//
+//   * kUniform   -- uniform over the full 32-bit domain: every bucket gets
+//                   ~n/m keys.  The paper's default, and (Section 6.5) the
+//                   *worst case* for the multisplit methods.
+//   * kBinomial  -- bucket occupancy follows Binomial(m-1, p): the bucket
+//                   of each key is drawn from B(m-1, p) and the key is then
+//                   drawn uniformly inside that bucket's range.
+//   * kSkewedOne -- 25% of keys uniform over all buckets, 75% inside one
+//                   bucket (the paper's "milder" skew).
+//   * kIdentity  -- keys drawn from {0..m-1} (the trivial identity-buckets
+//                   case of Section 3.1 / Table 4's last row).
+//   * kSortedUniform -- uniform keys, pre-sorted ascending: an adversarial
+//                   locality case used by tests and ablations (every
+//                   subproblem sees a single bucket).
+#pragma once
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace ms::workload {
+
+enum class Distribution {
+  kUniform,
+  kBinomial,
+  kSkewedOne,
+  kIdentity,
+  kSortedUniform,
+};
+
+std::string to_string(Distribution d);
+
+struct WorkloadConfig {
+  Distribution dist = Distribution::kUniform;
+  u32 m = 8;             // bucket count the distribution is shaped for
+  f64 binomial_p = 0.5;  // success probability for kBinomial
+  f64 skew_uniform_fraction = 0.25;  // kSkewedOne: fraction spread uniformly
+  u64 seed = 0xC0FFEE;
+};
+
+/// Generate n keys according to `cfg`.
+std::vector<u32> generate_keys(u64 n, const WorkloadConfig& cfg);
+
+/// Values used in key-value experiments: the identity permutation, so any
+/// test can verify value movement by indexing back into the original keys.
+std::vector<u32> identity_values(u64 n);
+
+}  // namespace ms::workload

@@ -1,0 +1,66 @@
+// Shared validation helpers for the multisplit test suites: the invariants
+// every multisplit result must satisfy (Section 3.1's definition).
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "multisplit/multisplit.hpp"
+#include "workload/distributions.hpp"
+
+namespace ms::test {
+
+/// Check the multisplit output invariants:
+///  1. output is a permutation of the input;
+///  2. each bucket's elements are contiguous and buckets appear in
+///     ascending ID order, exactly at the reported offsets;
+///  3. (stable methods) the per-bucket subsequences preserve input order.
+template <typename BucketFn>
+void expect_valid_multisplit(const std::vector<u32>& input,
+                             const std::vector<u32>& output,
+                             const std::vector<u32>& offsets, u32 m,
+                             BucketFn bucket_of, bool stable) {
+  ASSERT_EQ(input.size(), output.size());
+  ASSERT_EQ(offsets.size(), m + 1u);
+  ASSERT_EQ(offsets[0], 0u);
+  ASSERT_EQ(offsets[m], input.size());
+
+  // 1. Permutation (multiset equality via sorted copies).
+  {
+    std::vector<u32> a = input, b = output;
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    ASSERT_EQ(a, b) << "output is not a permutation of the input";
+  }
+
+  // 2. Offsets are monotone and every element sits inside its bucket range.
+  for (u32 j = 0; j < m; ++j) ASSERT_LE(offsets[j], offsets[j + 1]);
+  for (u64 i = 0; i < output.size(); ++i) {
+    const u32 b = bucket_of(output[i]);
+    ASSERT_LT(b, m) << "bucket function out of range";
+    ASSERT_GE(i, offsets[b]) << "element before its bucket range, i=" << i;
+    ASSERT_LT(i, offsets[b + 1]) << "element after its bucket range, i=" << i;
+  }
+
+  // 3. Stability.
+  if (stable) {
+    std::vector<std::vector<u32>> want(m), got(m);
+    for (u32 k : input) want[bucket_of(k)].push_back(k);
+    for (u32 k : output) got[bucket_of(k)].push_back(k);
+    for (u32 j = 0; j < m; ++j)
+      ASSERT_EQ(want[j], got[j]) << "bucket " << j << " not stable";
+  }
+}
+
+/// True for the methods whose output is input-order-preserving per bucket.
+inline bool is_stable(split::Method method) {
+  return method != split::Method::kRandomizedInsertion;
+}
+
+inline std::vector<u32> buffer_to_vector(const sim::DeviceBuffer<u32>& b) {
+  return std::vector<u32>(b.host().begin(), b.host().end());
+}
+
+}  // namespace ms::test

@@ -1,0 +1,115 @@
+// Block-wide multi-reduction, multi-scan, and the m > 32 block-wide
+// shared-memory scan (paper Sections 5.1 and 6.4).
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "primitives/block_ops.hpp"
+
+namespace ms::prim {
+namespace {
+
+using sim::Block;
+using sim::Device;
+
+struct BlockOpsParam {
+  u32 m;
+  u32 nw;
+};
+
+class BlockOpsTest : public ::testing::TestWithParam<BlockOpsParam> {};
+
+TEST_P(BlockOpsTest, MultiReduceSumsRows) {
+  const auto [m, nw] = GetParam();
+  Device dev;
+  std::mt19937 rng(m * 31 + nw);
+  std::vector<u32> h2_host(static_cast<size_t>(nw) * m);
+  for (auto& x : h2_host) x = rng() % 100;
+
+  sim::launch_blocks(dev, "t", 1, nw, [&](Block& blk) {
+    auto h2 = blk.shared<u32>(nw * m);
+    for (u32 i = 0; i < nw * m; ++i) h2.raw(i) = h2_host[i];
+    block_multi_reduce(blk, h2, m);
+    for (u32 d = 0; d < m; ++d) {
+      u32 want = 0;
+      for (u32 w = 0; w < nw; ++w) want += h2_host[w * m + d];
+      ASSERT_EQ(h2.raw(d), want) << "row " << d;
+    }
+  });
+}
+
+TEST_P(BlockOpsTest, MultiScanExclusivePerRow) {
+  const auto [m, nw] = GetParam();
+  Device dev;
+  std::mt19937 rng(m * 131 + nw);
+  std::vector<u32> h2_host(static_cast<size_t>(nw) * m);
+  for (auto& x : h2_host) x = rng() % 50;
+
+  sim::launch_blocks(dev, "t", 1, nw, [&](Block& blk) {
+    auto h2 = blk.shared<u32>((nw + 1) * m);
+    for (u32 i = 0; i < nw * m; ++i) h2.raw(i) = h2_host[i];
+    block_multi_scan_exclusive(blk, h2, m);
+    for (u32 d = 0; d < m; ++d) {
+      u32 acc = 0;
+      for (u32 w = 0; w < nw; ++w) {
+        ASSERT_EQ(h2.raw(w * m + d), acc) << "row " << d << " col " << w;
+        acc += h2_host[w * m + d];
+      }
+      ASSERT_EQ(h2.raw(nw * m + d), acc) << "totals row " << d;
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, BlockOpsTest,
+    ::testing::Values(BlockOpsParam{1, 2}, BlockOpsParam{2, 8},
+                      BlockOpsParam{8, 8}, BlockOpsParam{32, 8},
+                      BlockOpsParam{32, 4}, BlockOpsParam{16, 3},
+                      BlockOpsParam{7, 5}, BlockOpsParam{32, 1},
+                      BlockOpsParam{64, 8}, BlockOpsParam{100, 4}));
+
+class BlockScanSmemTest : public ::testing::TestWithParam<u32> {};
+
+TEST_P(BlockScanSmemTest, MatchesStdExclusiveScan) {
+  const u32 count = GetParam();
+  Device dev;
+  std::mt19937 rng(count);
+  std::vector<u32> host(count);
+  for (auto& x : host) x = rng() % 20;
+
+  sim::launch_blocks(dev, "t", 1, 8, [&](Block& blk) {
+    auto arr = blk.shared<u32>(count);
+    for (u32 i = 0; i < count; ++i) arr.raw(i) = host[i];
+    block_exclusive_scan_smem(blk, arr, count);
+    u32 acc = 0;
+    for (u32 i = 0; i < count; ++i) {
+      ASSERT_EQ(arr.raw(i), acc) << "index " << i;
+      acc += host[i];
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BlockScanSmemTest,
+                         ::testing::Values(1u, 31u, 32u, 33u, 255u, 256u,
+                                           257u, 1000u, 4096u, 10000u));
+
+TEST(BlockOps, MultiScanLogRounds) {
+  // Kogge-Stone over NW columns: barriers scale with log2(NW), not NW.
+  Device dev;
+  u64 barriers8 = 0, barriers2 = 0;
+  sim::launch_blocks(dev, "b8", 1, 8, [&](Block& blk) {
+    auto h2 = blk.shared<u32>(9 * 4);
+    block_multi_scan_exclusive(blk, h2, 4);
+  });
+  barriers8 = dev.records().back().events.barriers;
+  sim::launch_blocks(dev, "b2", 1, 2, [&](Block& blk) {
+    auto h2 = blk.shared<u32>(3 * 4);
+    block_multi_scan_exclusive(blk, h2, 4);
+  });
+  barriers2 = dev.records().back().events.barriers;
+  EXPECT_GT(barriers8, barriers2);
+  EXPECT_LE(barriers8, 2 + 2 * 3u + 2u);  // log2(8)=3 rounds + shift phases
+}
+
+}  // namespace
+}  // namespace ms::prim

@@ -1,0 +1,89 @@
+// Bucket-identification functors.
+#include <gtest/gtest.h>
+
+#include "multisplit/bucket.hpp"
+
+namespace ms::split {
+namespace {
+
+TEST(RangeBucketTest, EquallyDividesDomain) {
+  const RangeBucket b{4};
+  EXPECT_EQ(b(0), 0u);
+  EXPECT_EQ(b(0x3FFFFFFF), 0u);
+  EXPECT_EQ(b(0x40000000), 1u);
+  EXPECT_EQ(b(0x7FFFFFFF), 1u);
+  EXPECT_EQ(b(0x80000000), 2u);
+  EXPECT_EQ(b(0xC0000000), 3u);
+  EXPECT_EQ(b(0xFFFFFFFF), 3u);
+}
+
+TEST(RangeBucketTest, AlwaysInRange) {
+  for (const u32 m : {1u, 2u, 3u, 7u, 32u, 100u, 65536u}) {
+    const RangeBucket b{m};
+    for (const u32 k : {0u, 1u, 0x12345678u, 0xFFFFFFFEu, 0xFFFFFFFFu}) {
+      EXPECT_LT(b(k), m) << "m=" << m << " k=" << k;
+    }
+  }
+}
+
+TEST(RangeBucketTest, MonotoneInKey) {
+  const RangeBucket b{13};
+  u32 prev = 0;
+  for (u64 k = 0; k <= 0xFFFFFFFFull; k += 0x01000001) {
+    const u32 cur = b(static_cast<u32>(k));
+    EXPECT_GE(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(IdentityBucketTest, PassThrough) {
+  const IdentityBucket b;
+  EXPECT_EQ(b(0), 0u);
+  EXPECT_EQ(b(17), 17u);
+}
+
+TEST(LowBitsBucketTest, MasksLowBits) {
+  const LowBitsBucket b{3};
+  EXPECT_EQ(b(0b10101), 0b101u);
+  EXPECT_EQ(b(0xFFFFFFFF), 7u);
+}
+
+TEST(DeltaBucketTest, ClampsToLastBucket) {
+  const DeltaBucket b{100, 10};
+  EXPECT_EQ(b(0), 0u);
+  EXPECT_EQ(b(99), 0u);
+  EXPECT_EQ(b(100), 1u);
+  EXPECT_EQ(b(950), 9u);
+  EXPECT_EQ(b(0xFFFFFFFF), 9u);
+}
+
+TEST(PivotBucketTest, ThreeWayAroundPivots) {
+  const PivotBucket b{100, 1000};
+  EXPECT_EQ(b(50), 0u);
+  EXPECT_EQ(b(100), 1u);
+  EXPECT_EQ(b(999), 1u);
+  EXPECT_EQ(b(1000), 2u);
+}
+
+TEST(PrimeBucketTest, ClassifiesSmallNumbers) {
+  const PrimeBucket b;
+  EXPECT_EQ(b(2), 0u);
+  EXPECT_EQ(b(3), 0u);
+  EXPECT_EQ(b(17), 0u);
+  EXPECT_EQ(b(4), 1u);
+  EXPECT_EQ(b(100), 1u);
+  EXPECT_EQ(b(0), 1u);
+  EXPECT_EQ(b(1), 1u);
+}
+
+TEST(ChargeCost, DeclaredCostsArePickedUp) {
+  EXPECT_EQ(bucket_charge_cost<RangeBucket>, 2u);
+  EXPECT_EQ(bucket_charge_cost<IdentityBucket>, 0u);
+  EXPECT_EQ(bucket_charge_cost<PrimeBucket>, 16u);
+  // A lambda without a declared cost defaults to 2.
+  const auto lambda = [](u32 k) { return k & 1u; };
+  EXPECT_EQ(bucket_charge_cost<decltype(lambda)>, 2u);
+}
+
+}  // namespace
+}  // namespace ms::split

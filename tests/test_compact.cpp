@@ -1,0 +1,77 @@
+// Stream compaction: predicate and flag-vector variants.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "primitives/compact.hpp"
+
+namespace ms::prim {
+namespace {
+
+using sim::Device;
+using sim::DeviceBuffer;
+
+class CompactTest : public ::testing::TestWithParam<u64> {};
+
+TEST_P(CompactTest, PredicateCompactionPreservesOrder) {
+  const u64 n = GetParam();
+  Device dev;
+  std::mt19937 rng(static_cast<u32>(n));
+  DeviceBuffer<u32> in(dev, n), out(dev, n);
+  for (u64 i = 0; i < n; ++i) in[i] = rng() % 1000;
+
+  const auto pred = [](u32 x) { return x % 7 == 0; };
+  const u64 kept = compact<u32>(dev, in, out, pred);
+
+  std::vector<u32> want;
+  for (u64 i = 0; i < n; ++i) {
+    if (pred(in[i])) want.push_back(in[i]);
+  }
+  ASSERT_EQ(kept, want.size());
+  for (u64 i = 0; i < kept; ++i) ASSERT_EQ(out[i], want[i]) << "index " << i;
+}
+
+TEST_P(CompactTest, FlagCompactionMatchesPredicate) {
+  const u64 n = GetParam();
+  Device dev;
+  std::mt19937 rng(static_cast<u32>(n) + 9);
+  DeviceBuffer<u32> in(dev, n), flags(dev, n), out(dev, n);
+  std::vector<u32> want;
+  for (u64 i = 0; i < n; ++i) {
+    in[i] = rng();
+    flags[i] = rng() % 2;
+    if (flags[i]) want.push_back(in[i]);
+  }
+  const u64 kept = compact_by_flags<u32>(dev, in, flags, out);
+  ASSERT_EQ(kept, want.size());
+  for (u64 i = 0; i < kept; ++i) ASSERT_EQ(out[i], want[i]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CompactTest,
+                         ::testing::Values(1ull, 32ull, 33ull, 1000ull,
+                                           4096ull, 100001ull));
+
+TEST(CompactEdge, KeepAllAndKeepNone) {
+  Device dev;
+  const u64 n = 5000;
+  DeviceBuffer<u32> in(dev, n), out(dev, n);
+  for (u64 i = 0; i < n; ++i) in[i] = static_cast<u32>(i);
+  EXPECT_EQ((compact<u32>(dev, in, out, [](u32) { return true; })), n);
+  for (u64 i = 0; i < n; ++i) ASSERT_EQ(out[i], i);
+  EXPECT_EQ((compact<u32>(dev, in, out, [](u32) { return false; })), 0u);
+}
+
+TEST(CompactEdge, OutputSmallerThanInputIsAllowedIfKeptFits) {
+  Device dev;
+  const u64 n = 1000;
+  DeviceBuffer<u32> in(dev, n), flags(dev, n), out(dev, 10);
+  flags.fill(0);
+  for (u64 i = 0; i < 5; ++i) flags[i * 100] = 1;
+  EXPECT_EQ((compact_by_flags<u32>(dev, in, flags, out)), 5u);
+  flags.fill(1);
+  EXPECT_THROW((compact_by_flags<u32>(dev, in, flags, out)),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace ms::prim

@@ -1,0 +1,130 @@
+// Cost-model properties: the invariants the paper-reproduction benches
+// rely on.  Simulated time must be (a) deterministic, (b) ~linear in n,
+// (c) ordered sensibly across device profiles, and (d) bounded below by
+// the speed-of-light analysis of Section 6.2.2.
+#include <gtest/gtest.h>
+
+#include "multisplit_test_util.hpp"
+
+namespace ms::test {
+namespace {
+
+using split::Method;
+using split::MultisplitConfig;
+using split::RangeBucket;
+
+f64 run_ms(const sim::DeviceProfile& profile, u64 n, u32 m, Method meth,
+           u64 seed = 1) {
+  workload::WorkloadConfig wc;
+  wc.seed = seed;
+  const auto host = workload::generate_keys(n, wc);
+  sim::Device dev(profile);
+  sim::DeviceBuffer<u32> in(dev, std::span<const u32>(host)), out(dev, n);
+  MultisplitConfig cfg;
+  cfg.method = meth;
+  return split::multisplit_keys(dev, in, out, m, RangeBucket{m}, cfg)
+      .total_ms();
+}
+
+TEST(CostModel, Deterministic) {
+  const f64 a = run_ms(sim::DeviceProfile::tesla_k40c(), 100000, 8,
+                       Method::kBlockLevel);
+  const f64 b = run_ms(sim::DeviceProfile::tesla_k40c(), 100000, 8,
+                       Method::kBlockLevel);
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(CostModel, ApproximatelyLinearInN) {
+  // Doubling n should roughly double the modeled time; n is large enough
+  // that fixed kernel-launch overheads do not distort the ratio.
+  for (const Method meth :
+       {Method::kDirect, Method::kWarpLevel, Method::kBlockLevel}) {
+    const f64 t1 =
+        run_ms(sim::DeviceProfile::tesla_k40c(), 1u << 19, 8, meth);
+    const f64 t2 =
+        run_ms(sim::DeviceProfile::tesla_k40c(), 1u << 20, 8, meth);
+    EXPECT_GT(t2 / t1, 1.6) << to_string(meth);
+    EXPECT_LT(t2 / t1, 2.5) << to_string(meth);
+  }
+}
+
+TEST(CostModel, MaxwellIsSlowerThanKepler) {
+  // The 750 Ti has ~30% of the K40c's bandwidth and fewer SMs; absolute
+  // times must be substantially larger for the same problem.
+  const f64 k40 = run_ms(sim::DeviceProfile::tesla_k40c(), 1u << 19, 8,
+                         Method::kBlockLevel);
+  const f64 m750 = run_ms(sim::DeviceProfile::gtx_750_ti(), 1u << 19, 8,
+                          Method::kBlockLevel);
+  EXPECT_GT(m750, 1.8 * k40);
+}
+
+TEST(CostModel, SpeedOfLightIsAFloor) {
+  // No method may beat the 3-accesses-per-key bound on its own device.
+  const u64 n = 1u << 18;
+  const auto sol = sim::DeviceProfile::speed_of_light();
+  const f64 floor_ms =
+      3.0 * n * 4 / (sol.mem_bandwidth_gbps * 1e9) * 1e3;
+  for (const Method meth :
+       {Method::kDirect, Method::kWarpLevel, Method::kBlockLevel}) {
+    const f64 t = run_ms(sim::DeviceProfile::tesla_k40c(), n, 4, meth);
+    EXPECT_GT(t, floor_ms) << to_string(meth);
+  }
+}
+
+TEST(CostModel, KernelTimeDecomposition) {
+  // kernel = launch + max(mem, issue); components are exposed per record.
+  sim::Device dev;
+  sim::DeviceBuffer<u32> buf(dev, 1u << 16);
+  sim::device_fill<u32>(dev, buf, 1);
+  const auto& r = dev.records().back();
+  EXPECT_NEAR(r.time_ms,
+              dev.profile().kernel_launch_us * 1e-3 +
+                  std::max(r.mem_time_ms, r.issue_time_ms),
+              1e-12);
+  EXPECT_GT(r.mem_time_ms, 0.0);
+  EXPECT_GT(r.issue_time_ms, 0.0);
+}
+
+TEST(CostModel, CoalescingEfficiencyDiagnostics) {
+  sim::Device dev;
+  sim::DeviceBuffer<u32> buf(dev, 1u << 16);
+  // Streaming fill: near-perfect efficiency.
+  sim::device_fill<u32>(dev, buf, 1);
+  const auto ev_fill = dev.records().back().events;
+  EXPECT_GT(sim::coalescing_efficiency(ev_fill, dev.profile()), 0.9);
+  // Strided scatter: terrible efficiency.
+  sim::launch_warps(dev, "strided", 64, [&](sim::Warp& w, u64 wid) {
+    LaneArray<u64> idx;
+    for (u32 i = 0; i < kWarpSize; ++i)
+      idx[i] = (wid * kWarpSize + i) * 16 % (1u << 16);
+    w.scatter(buf, idx, LaneArray<u32>::filled(0));
+  });
+  const auto ev_scatter = dev.records().back().events;
+  EXPECT_LT(sim::coalescing_efficiency(ev_scatter, dev.profile()), 0.5);
+}
+
+TEST(CostModel, UniformIsWorstCaseDistribution) {
+  // Section 6.5: skewed inputs can only help the multisplit methods.
+  const u64 n = 1u << 17;
+  const u32 m = 16;
+  const auto run_dist = [&](workload::Distribution d) {
+    workload::WorkloadConfig wc;
+    wc.dist = d;
+    wc.m = m;
+    const auto host = workload::generate_keys(n, wc);
+    sim::Device dev;
+    sim::DeviceBuffer<u32> in(dev, std::span<const u32>(host)), out(dev, n);
+    MultisplitConfig cfg;
+    cfg.method = Method::kBlockLevel;
+    return split::multisplit_keys(dev, in, out, m, RangeBucket{m}, cfg)
+        .total_ms();
+  };
+  const f64 t_uniform = run_dist(workload::Distribution::kUniform);
+  const f64 t_binomial = run_dist(workload::Distribution::kBinomial);
+  const f64 t_skewed = run_dist(workload::Distribution::kSkewedOne);
+  EXPECT_LE(t_binomial, t_uniform * 1.02);
+  EXPECT_LE(t_skewed, t_uniform * 1.02);
+}
+
+}  // namespace
+}  // namespace ms::test

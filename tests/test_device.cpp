@@ -1,0 +1,126 @@
+// Device lifecycle, buffer semantics, profiles and launch-helper edges.
+#include <gtest/gtest.h>
+
+#include "sim/sim.hpp"
+
+namespace ms::sim {
+namespace {
+
+TEST(Device, ProfilesHaveSaneConstants) {
+  const auto k40 = DeviceProfile::tesla_k40c();
+  const auto m750 = DeviceProfile::gtx_750_ti();
+  const auto sol = DeviceProfile::speed_of_light();
+  EXPECT_GT(k40.mem_bandwidth_gbps, m750.mem_bandwidth_gbps);
+  EXPECT_GT(k40.issue_rate_gips, m750.issue_rate_gips);
+  EXPECT_GE(m750.scatter_issue_penalty, k40.scatter_issue_penalty);
+  EXPECT_EQ(sol.kernel_launch_us, 0.0);
+  EXPECT_EQ(sol.warp_overhead_slots, 0u);
+  EXPECT_EQ(k40.transaction_bytes, 32u);
+  EXPECT_EQ(k40.smem_bytes_per_block, 48u * 1024);
+}
+
+TEST(Device, AddressRangesAreDisjointAndAligned) {
+  Device dev;
+  const u64 a = dev.allocate_address_range(100);
+  const u64 b = dev.allocate_address_range(1);
+  const u64 c = dev.allocate_address_range(64);
+  EXPECT_EQ(a % dev.profile().transaction_bytes, 0u);
+  EXPECT_GE(b, a + 100);
+  EXPECT_EQ(b % dev.profile().transaction_bytes, 0u);
+  EXPECT_GT(c, b);
+}
+
+TEST(Device, ResetStatsClearsRecordsKeepsData) {
+  Device dev;
+  DeviceBuffer<u32> buf(dev, 256);
+  device_fill<u32>(dev, buf, 9);
+  EXPECT_FALSE(dev.records().empty());
+  dev.reset_stats();
+  EXPECT_TRUE(dev.records().empty());
+  EXPECT_EQ(dev.total_ms(), 0.0);
+  EXPECT_EQ(buf[100], 9u);  // contents survive
+}
+
+TEST(DeviceBuffer, SpanConstructorCopies) {
+  Device dev;
+  std::vector<u32> host{1, 2, 3, 4};
+  DeviceBuffer<u32> buf(dev, std::span<const u32>(host));
+  host[0] = 99;
+  EXPECT_EQ(buf[0], 1u);
+  EXPECT_EQ(buf.size(), 4u);
+}
+
+TEST(DeviceBuffer, MoveTransfersOwnership) {
+  Device dev;
+  DeviceBuffer<u32> a(dev, 64);
+  a[5] = 77;
+  const u64 addr = a.base_address();
+  DeviceBuffer<u32> b = std::move(a);
+  EXPECT_EQ(b[5], 77u);
+  EXPECT_EQ(b.base_address(), addr);
+  DeviceBuffer<u32> c;
+  c = std::move(b);
+  EXPECT_EQ(c[5], 77u);
+}
+
+TEST(Launch, ZeroWarpsIsAnEmptyKernel) {
+  Device dev;
+  launch_warps(dev, "empty", 0, [](Warp&, u64) { FAIL() << "no warps"; });
+  EXPECT_EQ(dev.records().back().events.warps_launched, 0u);
+}
+
+TEST(Launch, BlockRequiresAtLeastOneWarp) {
+  Device dev;
+  EXPECT_THROW(launch_blocks(dev, "bad", 1, 0, [](Block&) {}),
+               std::logic_error);
+}
+
+TEST(Launch, WarpAndBlockIdsAreConsistent) {
+  Device dev;
+  launch_blocks(dev, "ids", 3, 4, [&](Block& blk) {
+    u32 expect_wi = 0;
+    blk.for_each_warp([&](Warp& w) {
+      EXPECT_EQ(w.block_id(), blk.block_id());
+      EXPECT_EQ(w.warp_in_block(), expect_wi);
+      EXPECT_EQ(w.warp_id(), static_cast<u64>(blk.block_id()) * 4 + expect_wi);
+      ++expect_wi;
+    });
+    EXPECT_EQ(expect_wi, 4u);
+  });
+}
+
+TEST(Launch, TailMaskValues) {
+  EXPECT_EQ(tail_mask(0), 0u);
+  EXPECT_EQ(tail_mask(1), 1u);
+  EXPECT_EQ(tail_mask(31), 0x7FFFFFFFu);
+  EXPECT_EQ(tail_mask(32), kFullMask);
+  EXPECT_EQ(tail_mask(1000), kFullMask);
+}
+
+TEST(Launch, BarrierChargesPerWarp) {
+  Device dev;
+  launch_blocks(dev, "barrier", 1, 8, [](Block& blk) { blk.sync(); });
+  const auto ev = dev.records().back().events;
+  EXPECT_EQ(ev.barriers, 1u);
+  EXPECT_GE(ev.issue_slots, 8u * dev.profile().barrier_overhead_slots);
+}
+
+TEST(Launch, SharedArrayStableAcrossArenaGrowth) {
+  // Regression: a SharedArray handed out before the arena grows past the
+  // 48 kB default must stay valid after a later allocation resizes it.
+  Device dev;
+  launch_blocks(dev, "grow", 1, 1, [&](Block& blk) {
+    auto early = blk.shared<u32>(64);
+    early.raw(7) = 1234;
+    auto huge = blk.shared<u32>(64 * 1024);  // forces arena growth
+    huge.raw(0) = 1;
+    EXPECT_EQ(early.raw(7), 1234u);
+    Warp& w = blk.warp(0);
+    const auto v =
+        w.smem_read(early, LaneArray<u32>::filled(7), /*active=*/1u);
+    EXPECT_EQ(v[0], 1234u);
+  });
+}
+
+}  // namespace
+}  // namespace ms::sim

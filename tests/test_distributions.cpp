@@ -1,0 +1,80 @@
+// Workload generator properties.
+#include <gtest/gtest.h>
+
+#include "multisplit/bucket.hpp"
+#include "workload/distributions.hpp"
+
+namespace ms::workload {
+namespace {
+
+TEST(Distributions, UniformFillsAllBucketsEvenly) {
+  WorkloadConfig cfg;
+  cfg.m = 8;
+  const auto keys = generate_keys(80000, cfg);
+  std::vector<u32> hist(8, 0);
+  const split::RangeBucket b{8};
+  for (u32 k : keys) hist[b(k)]++;
+  for (u32 d = 0; d < 8; ++d) {
+    EXPECT_NEAR(hist[d], 10000.0, 500.0) << "bucket " << d;
+  }
+}
+
+TEST(Distributions, BinomialPeaksInTheMiddle) {
+  WorkloadConfig cfg;
+  cfg.dist = Distribution::kBinomial;
+  cfg.m = 16;
+  const auto keys = generate_keys(50000, cfg);
+  std::vector<u32> hist(16, 0);
+  const split::RangeBucket b{16};
+  for (u32 k : keys) hist[b(k)]++;
+  // B(15, 0.5): the central buckets dominate, the tails are nearly empty.
+  EXPECT_GT(hist[7] + hist[8], hist[0] + hist[1] + hist[14] + hist[15]);
+  EXPECT_GT(hist[7], 5000u);
+  EXPECT_LT(hist[0], 100u);
+}
+
+TEST(Distributions, SkewedOnePutsMassInOneBucket) {
+  WorkloadConfig cfg;
+  cfg.dist = Distribution::kSkewedOne;
+  cfg.m = 8;
+  const auto keys = generate_keys(40000, cfg);
+  std::vector<u32> hist(8, 0);
+  const split::RangeBucket b{8};
+  for (u32 k : keys) hist[b(k)]++;
+  // ~75% + 25%/8 in the heavy bucket (m/2).
+  EXPECT_NEAR(hist[4], 40000 * (0.75 + 0.25 / 8), 600.0);
+}
+
+TEST(Distributions, IdentityKeysAreSmall) {
+  WorkloadConfig cfg;
+  cfg.dist = Distribution::kIdentity;
+  cfg.m = 10;
+  const auto keys = generate_keys(1000, cfg);
+  for (u32 k : keys) EXPECT_LT(k, 10u);
+}
+
+TEST(Distributions, SortedUniformIsSorted) {
+  WorkloadConfig cfg;
+  cfg.dist = Distribution::kSortedUniform;
+  const auto keys = generate_keys(10000, cfg);
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+}
+
+TEST(Distributions, SeedsAreReproducibleAndDistinct) {
+  WorkloadConfig a, b;
+  a.seed = 1;
+  b.seed = 2;
+  const auto k1 = generate_keys(1000, a);
+  const auto k1_again = generate_keys(1000, a);
+  const auto k2 = generate_keys(1000, b);
+  EXPECT_EQ(k1, k1_again);
+  EXPECT_NE(k1, k2);
+}
+
+TEST(Distributions, IdentityValuesAreIota) {
+  const auto v = identity_values(100);
+  for (u32 i = 0; i < 100; ++i) EXPECT_EQ(v[i], i);
+}
+
+}  // namespace
+}  // namespace ms::workload

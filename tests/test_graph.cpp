@@ -1,0 +1,100 @@
+// Graph substrate: CSR construction, generators, and the Dijkstra
+// reference.
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+
+namespace ms::graph {
+namespace {
+
+TEST(Csr, FromEdgesBuildsCorrectAdjacency) {
+  const std::vector<std::array<u32, 3>> edges = {
+      {0, 1, 5}, {0, 2, 3}, {1, 2, 1}, {2, 0, 7}};
+  const Csr g = csr_from_edges(3, edges);
+  EXPECT_EQ(g.num_vertices, 3u);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.degree(1), 1u);
+  EXPECT_EQ(g.degree(2), 1u);
+  EXPECT_EQ(g.col_indices[g.row_offsets[2]], 0u);
+  EXPECT_EQ(g.weights[g.row_offsets[2]], 7u);
+}
+
+TEST(Csr, ValidateCatchesCorruption) {
+  Csr g = csr_from_edges(2, {{0, 1, 1}});
+  g.col_indices[0] = 99;
+  EXPECT_THROW(g.validate(), std::logic_error);
+  Csr g2 = csr_from_edges(2, {{0, 1, 1}});
+  g2.weights[0] = 0;
+  EXPECT_THROW(g2.validate(), std::logic_error);
+}
+
+TEST(Dijkstra, SmallGraphByHand) {
+  //    0 --5--> 1 --1--> 2
+  //    0 ------3-------> 2 ; 2 --7--> 0
+  const Csr g = csr_from_edges(3, {{0, 1, 5}, {0, 2, 3}, {1, 2, 1}, {2, 0, 7}});
+  const auto d = dijkstra(g, 0);
+  EXPECT_EQ(d, (std::vector<u32>{0, 5, 3}));
+  const auto d2 = dijkstra(g, 2);
+  EXPECT_EQ(d2, (std::vector<u32>{7, 12, 0}));
+}
+
+TEST(Dijkstra, UnreachableVerticesStayInfinite) {
+  const Csr g = csr_from_edges(4, {{0, 1, 1}});
+  const auto d = dijkstra(g, 0);
+  EXPECT_EQ(d[2], kInfDist);
+  EXPECT_EQ(d[3], kInfDist);
+  EXPECT_EQ(max_finite_distance(d), 1u);
+}
+
+TEST(Generators, AllProduceValidGraphs) {
+  GenConfig gc;
+  gc.max_weight = 50;
+  const Csr a = social_like(500, 3000, gc);
+  const Csr b = rmat(9, 4000, gc);
+  const Csr c = low_diameter(600, 4000, gc);
+  const Csr d = grid2d(20, gc);
+  for (const Csr* g : {&a, &b, &c, &d}) {
+    g->validate();
+    EXPECT_GT(g->num_edges(), 0u);
+  }
+  EXPECT_EQ(d.num_vertices, 400u);
+}
+
+TEST(Generators, SocialLikeHasHeavyTail) {
+  const Csr g = social_like(2000, 20000);
+  u32 dmax = 0;
+  u64 dsum = 0;
+  for (u32 v = 0; v < g.num_vertices; ++v) {
+    dmax = std::max(dmax, g.degree(v));
+    dsum += g.degree(v);
+  }
+  const f64 avg = static_cast<f64>(dsum) / g.num_vertices;
+  EXPECT_GT(dmax, 5 * avg) << "expected a hub-dominated degree profile";
+}
+
+TEST(Generators, LowDiameterIsConnectedFromZero) {
+  const Csr g = low_diameter(1000, 6000);
+  const auto d = dijkstra(g, 0);
+  for (u32 v = 0; v < g.num_vertices; ++v)
+    ASSERT_NE(d[v], kInfDist) << "vertex " << v << " unreachable";
+}
+
+TEST(Generators, GridDiameterScalesWithSide) {
+  // BFS-depth (hop) comparison via unit weights.
+  GenConfig gc;
+  gc.max_weight = 1;
+  const auto far10 = max_finite_distance(dijkstra(grid2d(10, gc), 0));
+  const auto far30 = max_finite_distance(dijkstra(grid2d(30, gc), 0));
+  EXPECT_GE(far30, 2 * far10);
+}
+
+TEST(Generators, Deterministic) {
+  const Csr a = rmat(8, 2000);
+  const Csr b = rmat(8, 2000);
+  EXPECT_EQ(a.col_indices, b.col_indices);
+  EXPECT_EQ(a.weights, b.weights);
+}
+
+}  // namespace
+}  // namespace ms::graph

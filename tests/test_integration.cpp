@@ -1,0 +1,160 @@
+// Cross-module integration: pipelines that compose multisplit with the
+// other primitives the way the example applications do, plus whole-stack
+// consistency checks across methods.
+#include <gtest/gtest.h>
+
+#include "multisplit_test_util.hpp"
+#include "primitives/compact.hpp"
+#include "primitives/histogram.hpp"
+
+namespace ms::test {
+namespace {
+
+using split::Method;
+using split::MultisplitConfig;
+using split::RangeBucket;
+
+TEST(Integration, AllStableMethodsProduceIdenticalOutput) {
+  // Stability pins the output uniquely: every stable method must produce
+  // the exact same permutation, not merely a valid one.
+  const u64 n = 50000;
+  const u32 m = 16;
+  workload::WorkloadConfig wc;
+  wc.m = m;
+  const auto host = workload::generate_keys(n, wc);
+
+  std::vector<u32> reference;
+  for (const Method meth :
+       {Method::kDirect, Method::kWarpLevel, Method::kBlockLevel,
+        Method::kRecursiveScanSplit, Method::kReducedBitSort,
+        Method::kFusedBucketSort}) {
+    sim::Device dev;
+    sim::DeviceBuffer<u32> in(dev, std::span<const u32>(host)), out(dev, n);
+    MultisplitConfig cfg;
+    cfg.method = meth;
+    split::multisplit_keys(dev, in, out, m, RangeBucket{m}, cfg);
+    const auto got = buffer_to_vector(out);
+    if (reference.empty()) {
+      reference = got;
+    } else {
+      ASSERT_EQ(got, reference) << to_string(meth)
+                                << " disagrees with the stable reference";
+    }
+  }
+}
+
+TEST(Integration, MultisplitIsIdempotentOnItsOwnOutput) {
+  const u64 n = 30000;
+  const u32 m = 8;
+  workload::WorkloadConfig wc;
+  const auto host = workload::generate_keys(n, wc);
+  sim::Device dev;
+  sim::DeviceBuffer<u32> a(dev, std::span<const u32>(host)), b(dev, n),
+      c(dev, n);
+  MultisplitConfig cfg;
+  cfg.method = Method::kBlockLevel;
+  split::multisplit_keys(dev, a, b, m, RangeBucket{m}, cfg);
+  split::multisplit_keys(dev, b, c, m, RangeBucket{m}, cfg);
+  EXPECT_EQ(buffer_to_vector(b), buffer_to_vector(c));
+}
+
+TEST(Integration, OffsetsAgreeWithHistogramPrimitive) {
+  const u64 n = 40000;
+  const u32 m = 13;
+  workload::WorkloadConfig wc;
+  wc.m = m;
+  wc.dist = workload::Distribution::kBinomial;
+  const auto host = workload::generate_keys(n, wc);
+  sim::Device dev;
+  sim::DeviceBuffer<u32> in(dev, std::span<const u32>(host)), out(dev, n);
+  sim::DeviceBuffer<u32> hist(dev, m);
+  prim::histogram_block_local(dev, in, hist, m, RangeBucket{m});
+  MultisplitConfig cfg;
+  cfg.method = Method::kWarpLevel;
+  const auto r = split::multisplit_keys(dev, in, out, m, RangeBucket{m}, cfg);
+  for (u32 b = 0; b < m; ++b) {
+    ASSERT_EQ(r.bucket_offsets[b + 1] - r.bucket_offsets[b], hist[b])
+        << "bucket " << b;
+  }
+}
+
+TEST(Integration, BucketThenCompactOneBucket) {
+  // The "extract one bin" pattern: multisplit, then compact a single
+  // bucket's range out by predicate -- both ways must agree.
+  const u64 n = 20000;
+  const u32 m = 8;
+  workload::WorkloadConfig wc;
+  const auto host = workload::generate_keys(n, wc);
+  sim::Device dev;
+  sim::DeviceBuffer<u32> in(dev, std::span<const u32>(host)), out(dev, n),
+      picked(dev, n);
+  MultisplitConfig cfg;
+  cfg.method = Method::kBlockLevel;
+  const auto r = split::multisplit_keys(dev, in, out, m, RangeBucket{m}, cfg);
+
+  const u32 want_bucket = 3;
+  const u64 kept = prim::compact<u32>(dev, in, picked, [&](u32 k) {
+    return RangeBucket{m}(k) == want_bucket;
+  });
+  ASSERT_EQ(kept, r.bucket_offsets[want_bucket + 1] -
+                      r.bucket_offsets[want_bucket]);
+  // Stability makes the two extraction orders identical.
+  for (u64 i = 0; i < kept; ++i) {
+    ASSERT_EQ(picked[i], out[r.bucket_offsets[want_bucket] + i]);
+  }
+}
+
+TEST(Integration, ChainedSplitsRefineLikeOneBigSplit) {
+  // Splitting by the high bit and then each half by the next bit must
+  // equal a single 4-bucket multisplit (stability composes).
+  const u64 n = 16000;
+  workload::WorkloadConfig wc;
+  wc.seed = 77;
+  const auto host = workload::generate_keys(n, wc);
+  const RangeBucket four{4};
+
+  sim::Device dev;
+  sim::DeviceBuffer<u32> in(dev, std::span<const u32>(host)), direct4(dev, n);
+  MultisplitConfig cfg;
+  cfg.method = Method::kBlockLevel;
+  split::multisplit_keys(dev, in, direct4, 4, four, cfg);
+
+  // Chain: 2-way split, then split each half in place via sub-buffers.
+  sim::DeviceBuffer<u32> half(dev, n), chained(dev, n);
+  const auto r2 = split::multisplit_keys(
+      dev, in, half, 2, [](u32 k) { return k >> 31; }, cfg);
+  const u32 cut = r2.bucket_offsets[1];
+  for (int side = 0; side < 2; ++side) {
+    const u32 lo = side == 0 ? 0 : cut;
+    const u32 hi = side == 0 ? cut : static_cast<u32>(n);
+    if (lo == hi) continue;
+    sim::DeviceBuffer<u32> part_in(dev, hi - lo), part_out(dev, hi - lo);
+    for (u32 i = lo; i < hi; ++i) part_in[i - lo] = half[i];
+    split::multisplit_keys(dev, part_in, part_out, 2,
+                           [](u32 k) { return (k >> 30) & 1u; }, cfg);
+    for (u32 i = lo; i < hi; ++i) chained[i] = part_out[i - lo];
+  }
+  EXPECT_EQ(buffer_to_vector(chained), buffer_to_vector(direct4));
+}
+
+TEST(Integration, SameSeedSameResultAcrossDevices) {
+  // Device profiles change costs, never results.
+  const u64 n = 20000;
+  workload::WorkloadConfig wc;
+  const auto host = workload::generate_keys(n, wc);
+  std::vector<u32> outs[2];
+  int i = 0;
+  for (const auto prof : {sim::DeviceProfile::tesla_k40c(),
+                          sim::DeviceProfile::gtx_750_ti()}) {
+    sim::Device dev(prof);
+    sim::DeviceBuffer<u32> in(dev, std::span<const u32>(host)), out(dev, n);
+    MultisplitConfig cfg;
+    cfg.method = Method::kBlockLevel;
+    split::multisplit_keys(dev, in, out, 8, RangeBucket{8}, cfg);
+    outs[i++] = buffer_to_vector(out);
+  }
+  EXPECT_EQ(outs[0], outs[1]);
+}
+
+}  // namespace
+}  // namespace ms::test

@@ -1,0 +1,149 @@
+// Warp intrinsic semantics: ballot / shfl / shfl_up / shfl_down / shfl_xor /
+// popc must match their CUDA definitions bit-exactly, including the
+// behaviour of inactive lanes, because the paper's Algorithms 2 and 3 are
+// bit-level programs over these primitives.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "sim/sim.hpp"
+
+namespace ms::sim {
+namespace {
+
+class IntrinsicsTest : public ::testing::Test {
+ protected:
+  Device dev;
+
+  /// Run `f` inside a single-warp kernel (intrinsics must be charged, so
+  /// they need an open kernel bracket).
+  template <typename F>
+  void in_warp(F&& f) {
+    launch_warps(dev, "test", 1, [&](Warp& w, u64) { f(w); });
+  }
+};
+
+TEST_F(IntrinsicsTest, BallotCollectsPredicateBits) {
+  in_warp([&](Warp& w) {
+    const auto pred = LaneArray<u32>::iota().map([](u32 i) { return i % 3 == 0 ? 1u : 0u; });
+    const LaneMask got = w.ballot(pred);
+    LaneMask want = 0;
+    for (u32 i = 0; i < kWarpSize; i += 3) want |= 1u << i;
+    EXPECT_EQ(got, want);
+  });
+}
+
+TEST_F(IntrinsicsTest, BallotTreatsAnyNonzeroAsTrue) {
+  in_warp([&](Warp& w) {
+    const auto pred = LaneArray<u32>::filled(0xDEADBEEF);
+    EXPECT_EQ(w.ballot(pred), kFullMask);
+  });
+}
+
+TEST_F(IntrinsicsTest, BallotInactiveLanesContributeZero) {
+  in_warp([&](Warp& w) {
+    const auto pred = LaneArray<u32>::filled(1);
+    EXPECT_EQ(w.ballot(pred, 0x0000FFFFu), 0x0000FFFFu);
+    EXPECT_EQ(w.ballot(pred, 0u), 0u);
+  });
+}
+
+TEST_F(IntrinsicsTest, AnyAndAllVotes) {
+  in_warp([&](Warp& w) {
+    EXPECT_FALSE(w.any(LaneArray<u32>{}));
+    EXPECT_TRUE(w.all(LaneArray<u32>::filled(1)));
+    LaneArray<u32> one{};
+    one[17] = 1;
+    EXPECT_TRUE(w.any(one));
+    EXPECT_FALSE(w.all(one));
+    // Inactive lanes don't participate.
+    EXPECT_FALSE(w.any(one, 0x0000FFFFu));
+    EXPECT_TRUE(w.all(one, 1u << 17));
+  });
+}
+
+TEST_F(IntrinsicsTest, ShflBroadcastFromUniformLane) {
+  in_warp([&](Warp& w) {
+    const auto v = LaneArray<u32>::iota(100);
+    const auto got = w.shfl(v, 5);
+    for (u32 i = 0; i < kWarpSize; ++i) EXPECT_EQ(got[i], 105u);
+  });
+}
+
+TEST_F(IntrinsicsTest, ShflPerLaneSourceWrapsModulo32) {
+  in_warp([&](Warp& w) {
+    const auto v = LaneArray<u32>::iota();
+    const auto src = LaneArray<u32>::iota().map([](u32 i) { return i + 33; });
+    const auto got = w.shfl(v, src);
+    // Source lane (i + 33) % 32 == (i + 1) % 32.
+    for (u32 i = 0; i < kWarpSize; ++i) EXPECT_EQ(got[i], (i + 1) % kWarpSize);
+  });
+}
+
+TEST_F(IntrinsicsTest, ShflUpKeepsLowLanes) {
+  in_warp([&](Warp& w) {
+    const auto v = LaneArray<u32>::iota(10);
+    const auto got = w.shfl_up(v, 3);
+    for (u32 i = 0; i < 3; ++i) EXPECT_EQ(got[i], 10 + i) << "low lane " << i;
+    for (u32 i = 3; i < kWarpSize; ++i) EXPECT_EQ(got[i], 10 + i - 3);
+  });
+}
+
+TEST_F(IntrinsicsTest, ShflDownKeepsHighLanes) {
+  in_warp([&](Warp& w) {
+    const auto v = LaneArray<u32>::iota();
+    const auto got = w.shfl_down(v, 4);
+    for (u32 i = 0; i + 4 < kWarpSize; ++i) EXPECT_EQ(got[i], i + 4);
+    for (u32 i = kWarpSize - 4; i < kWarpSize; ++i) EXPECT_EQ(got[i], i);
+  });
+}
+
+TEST_F(IntrinsicsTest, ShflXorButterfly) {
+  in_warp([&](Warp& w) {
+    const auto v = LaneArray<u32>::iota();
+    const auto got = w.shfl_xor(v, 1);
+    for (u32 i = 0; i < kWarpSize; ++i) EXPECT_EQ(got[i], i ^ 1u);
+    const auto got16 = w.shfl_xor(v, 16);
+    for (u32 i = 0; i < kWarpSize; ++i) EXPECT_EQ(got16[i], i ^ 16u);
+  });
+}
+
+TEST_F(IntrinsicsTest, PopcCountsPerLane) {
+  in_warp([&](Warp& w) {
+    LaneArray<u32> v;
+    for (u32 i = 0; i < kWarpSize; ++i) v[i] = (1u << i) - 1;  // i set bits
+    const auto got = w.popc(v);
+    for (u32 i = 0; i < kWarpSize; ++i) EXPECT_EQ(got[i], i);
+  });
+}
+
+TEST_F(IntrinsicsTest, IntrinsicsChargeIssueSlots) {
+  dev.begin_kernel("charged");
+  Warp w(dev, 0);
+  const u64 before = dev.events().issue_slots;
+  w.ballot(LaneArray<u32>::filled(1));
+  w.shfl(LaneArray<u32>::iota(), 0u);
+  w.popc(LaneArray<u32>::filled(3));
+  w.charge(5);
+  EXPECT_EQ(dev.events().issue_slots, before + 3 + 5);
+  dev.end_kernel();
+}
+
+TEST_F(IntrinsicsTest, RandomizedShflMatchesReference) {
+  std::mt19937 rng(99);
+  in_warp([&](Warp& w) {
+    for (int trial = 0; trial < 100; ++trial) {
+      LaneArray<u32> v, src;
+      for (u32 i = 0; i < kWarpSize; ++i) {
+        v[i] = rng();
+        src[i] = rng() % 64;
+      }
+      const auto got = w.shfl(v, src);
+      for (u32 i = 0; i < kWarpSize; ++i)
+        ASSERT_EQ(got[i], v[src[i] % kWarpSize]);
+    }
+  });
+}
+
+}  // namespace
+}  // namespace ms::sim

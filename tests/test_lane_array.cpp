@@ -1,0 +1,98 @@
+// Unit tests for the fundamental simulator types: LaneArray, lane masks,
+// and the small integer helpers everything else leans on.
+#include <gtest/gtest.h>
+
+#include "sim/types.hpp"
+
+namespace ms {
+namespace {
+
+TEST(LaneArray, FilledBroadcastsToAllLanes) {
+  const auto a = LaneArray<u32>::filled(7);
+  for (u32 i = 0; i < kWarpSize; ++i) EXPECT_EQ(a[i], 7u);
+}
+
+TEST(LaneArray, IotaMatchesLaneIndex) {
+  const auto a = LaneArray<u32>::iota();
+  for (u32 i = 0; i < kWarpSize; ++i) EXPECT_EQ(a[i], i);
+  const auto b = LaneArray<u32>::iota(100);
+  for (u32 i = 0; i < kWarpSize; ++i) EXPECT_EQ(b[i], 100 + i);
+}
+
+TEST(LaneArray, DefaultIsZeroInitialized) {
+  const LaneArray<u64> a{};
+  for (u32 i = 0; i < kWarpSize; ++i) EXPECT_EQ(a[i], 0u);
+}
+
+TEST(LaneArray, MapAppliesElementwise) {
+  const auto a = LaneArray<u32>::iota();
+  const auto b = a.map([](u32 x) { return x * x; });
+  for (u32 i = 0; i < kWarpSize; ++i) EXPECT_EQ(b[i], i * i);
+}
+
+TEST(LaneArray, MapCanChangeType) {
+  const auto a = LaneArray<u32>::iota();
+  const auto b = a.map([](u32 x) { return static_cast<u64>(x) << 40; });
+  static_assert(std::is_same_v<decltype(b[0]), const u64&>);
+  EXPECT_EQ(b[3], u64{3} << 40);
+}
+
+TEST(LaneArray, ZipCombinesTwoArrays) {
+  const auto a = LaneArray<u32>::iota();
+  const auto b = LaneArray<u32>::filled(10);
+  const auto c = a.zip(b, [](u32 x, u32 y) { return x + y; });
+  for (u32 i = 0; i < kWarpSize; ++i) EXPECT_EQ(c[i], i + 10);
+}
+
+TEST(LaneMaskHelpers, ForEachLaneVisitsSetBitsAscending) {
+  std::vector<u32> visited;
+  for_each_lane(0b1010'0001u, [&](u32 lane) { visited.push_back(lane); });
+  EXPECT_EQ(visited, (std::vector<u32>{0, 5, 7}));
+}
+
+TEST(LaneMaskHelpers, ForEachLaneEmptyMask) {
+  u32 count = 0;
+  for_each_lane(0u, [&](u32) { ++count; });
+  EXPECT_EQ(count, 0u);
+}
+
+TEST(LaneMaskHelpers, LaneActive) {
+  EXPECT_TRUE(lane_active(0b100u, 2));
+  EXPECT_FALSE(lane_active(0b100u, 1));
+  EXPECT_TRUE(lane_active(kFullMask, 31));
+}
+
+TEST(IntHelpers, CeilDiv) {
+  EXPECT_EQ(ceil_div(0, 32), 0u);
+  EXPECT_EQ(ceil_div(1, 32), 1u);
+  EXPECT_EQ(ceil_div(32, 32), 1u);
+  EXPECT_EQ(ceil_div(33, 32), 2u);
+  EXPECT_EQ(ceil_div(u64{1} << 40, 2), u64{1} << 39);
+}
+
+TEST(IntHelpers, CeilLog2) {
+  EXPECT_EQ(ceil_log2(0), 0u);
+  EXPECT_EQ(ceil_log2(1), 0u);
+  EXPECT_EQ(ceil_log2(2), 1u);
+  EXPECT_EQ(ceil_log2(3), 2u);
+  EXPECT_EQ(ceil_log2(4), 2u);
+  EXPECT_EQ(ceil_log2(5), 3u);
+  EXPECT_EQ(ceil_log2(32), 5u);
+  EXPECT_EQ(ceil_log2(33), 6u);
+  EXPECT_EQ(ceil_log2(1u << 16), 16u);
+}
+
+TEST(IntHelpers, CheckThrowsWithMessage) {
+  EXPECT_NO_THROW(check(true, "fine"));
+  EXPECT_THROW(check(false, "boom"), std::logic_error);
+  try {
+    fail("specific message");
+    FAIL() << "fail() must throw";
+  } catch (const std::logic_error& e) {
+    EXPECT_NE(std::string(e.what()).find("specific message"),
+              std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace ms

@@ -1,0 +1,209 @@
+// The memory model is what makes the reproduction meaningful: these tests
+// pin down the coalescing accounting (issue replays per lane-order run /
+// 128 B line), the 32 B DRAM sector accounting through the L2 model, L2
+// write combining, bank-conflict counting, and the bookkeeping around
+// kernel brackets.
+#include <gtest/gtest.h>
+
+#include "sim/sim.hpp"
+
+namespace ms::sim {
+namespace {
+
+class MemoryModelTest : public ::testing::Test {
+ protected:
+  Device dev;
+
+  KernelEvents run(const std::function<void(Warp&)>& f) {
+    launch_warps(dev, "probe", 1, [&](Warp& w, u64) { f(w); });
+    return dev.records().back().events;
+  }
+};
+
+TEST_F(MemoryModelTest, CoalescedLoadIsOneLineFourSectors) {
+  DeviceBuffer<u32> buf(dev, 1024);
+  const auto ev = run([&](Warp& w) { w.load(buf, 0); });
+  // 32 lanes x 4 B = 128 B: one issue slot, no replays, four 32 B sectors.
+  EXPECT_EQ(ev.scatter_replays, 0u);
+  EXPECT_EQ(ev.l2_read_segments, 4u);
+  EXPECT_EQ(ev.useful_bytes_read, 128u);
+}
+
+TEST_F(MemoryModelTest, CoalescedU64LoadSpansTwoLines) {
+  DeviceBuffer<u64> buf(dev, 1024);
+  const auto ev = run([&](Warp& w) { w.load(buf, 0); });
+  EXPECT_EQ(ev.scatter_replays, 1u);  // 256 B = 2 lines
+  EXPECT_EQ(ev.l2_read_segments, 8u);
+}
+
+TEST_F(MemoryModelTest, StridedGatherTouchesOneLinePerLane) {
+  DeviceBuffer<u32> buf(dev, 32 * 64);
+  const auto ev = run([&](Warp& w) {
+    LaneArray<u64> idx;
+    for (u32 i = 0; i < kWarpSize; ++i) idx[i] = u64{i} * 64;  // 256 B stride
+    w.gather(buf, idx);
+  });
+  EXPECT_EQ(ev.scatter_replays, 31u);  // 32 separate lines
+  EXPECT_EQ(ev.l2_read_segments, 32u);
+}
+
+TEST_F(MemoryModelTest, InterleavedScatterPaysPerRunNotPerLine) {
+  // Figure 2's coalescing model: lanes alternating between two distant
+  // regions break into 32 single-element runs even though only a few
+  // distinct lines are touched.
+  DeviceBuffer<u32> buf(dev, 4096);
+  const auto ev = run([&](Warp& w) {
+    LaneArray<u64> idx;
+    for (u32 i = 0; i < kWarpSize; ++i)
+      idx[i] = (i % 2 == 0) ? (i / 2) : (2048 + i / 2);
+    w.scatter(buf, idx, LaneArray<u32>::filled(1));
+  });
+  EXPECT_EQ(ev.scatter_replays, 31u);  // 32 runs of length 1
+  // ...but the physical sectors are just 2 x 64 B regions.
+  EXPECT_EQ(ev.l2_write_segments, 4u);
+}
+
+TEST_F(MemoryModelTest, ReorderedScatterCollapsesToTwoRuns) {
+  // The same addresses in bucket-grouped lane order: 2 runs.
+  DeviceBuffer<u32> buf(dev, 4096);
+  const auto ev = run([&](Warp& w) {
+    LaneArray<u64> idx;
+    for (u32 i = 0; i < 16; ++i) idx[i] = i;
+    for (u32 i = 16; i < 32; ++i) idx[i] = 2048 + (i - 16);
+    w.scatter(buf, idx, LaneArray<u32>::filled(1));
+  });
+  EXPECT_EQ(ev.scatter_replays, 1u);  // 2 runs x 1 line each
+  EXPECT_EQ(ev.l2_write_segments, 4u);
+}
+
+TEST_F(MemoryModelTest, L2CombinesRepeatedWritesToOneSector) {
+  DeviceBuffer<u32> buf(dev, 64);
+  launch_warps(dev, "wcombine", 1, [&](Warp& w, u64) {
+    for (int rep = 0; rep < 10; ++rep)
+      w.store(buf, 0, LaneArray<u32>::filled(rep));
+  });
+  const auto ev = dev.records().back().events;
+  // 10 stores to the same 4 sectors: dirty lines flushed once at kernel end.
+  EXPECT_EQ(ev.l2_write_segments, 40u);
+  EXPECT_EQ(ev.dram_write_tx, 4u);
+}
+
+TEST_F(MemoryModelTest, StreamingReadMissesOncePerSector) {
+  const u64 n = 32 * 1024;
+  DeviceBuffer<u32> buf(dev, n);
+  launch_warps(dev, "stream", n / kWarpSize,
+               [&](Warp& w, u64 wid) { w.load(buf, wid * kWarpSize); });
+  const auto ev = dev.records().back().events;
+  EXPECT_EQ(ev.dram_read_tx, n * 4 / dev.profile().transaction_bytes);
+}
+
+TEST_F(MemoryModelTest, RereadWithinL2CapacityHits) {
+  DeviceBuffer<u32> buf(dev, 1024);
+  launch_warps(dev, "reread", 1, [&](Warp& w, u64) {
+    w.load(buf, 0);
+    w.load(buf, 0);
+    w.load(buf, 0);
+  });
+  EXPECT_EQ(dev.records().back().events.dram_read_tx, 4u);  // only first trip
+}
+
+TEST_F(MemoryModelTest, OutOfBoundsAccessThrows) {
+  DeviceBuffer<u32> buf(dev, 16);
+  EXPECT_THROW(run([&](Warp& w) { w.load(buf, 0); }), std::logic_error);
+  // A masked access inside bounds is fine.
+  Device dev2;
+  DeviceBuffer<u32> small(dev2, 16);
+  launch_warps(dev2, "masked", 1,
+               [&](Warp& w, u64) { w.load(small, 0, tail_mask(16)); });
+  SUCCEED();
+}
+
+TEST_F(MemoryModelTest, AtomicAddReturnsOldAndCountsConflicts) {
+  DeviceBuffer<u32> buf(dev, 8);
+  buf.fill(0);
+  launch_warps(dev, "atomics", 1, [&](Warp& w, u64) {
+    // All 32 lanes add 1 to the same counter.
+    const auto old = w.atomic_add(buf, LaneArray<u64>::filled(3),
+                                  LaneArray<u32>::filled(1));
+    // Serialized in lane order: lane i sees i.
+    for (u32 i = 0; i < kWarpSize; ++i) EXPECT_EQ(old[i], i);
+  });
+  EXPECT_EQ(buf[3], 32u);
+  const auto ev = dev.records().back().events;
+  EXPECT_EQ(ev.atomic_ops, 32u);
+  EXPECT_EQ(ev.atomic_conflicts, 31u);
+}
+
+TEST_F(MemoryModelTest, AtomicMinSettlesToMinimum) {
+  DeviceBuffer<u32> buf(dev, 4);
+  buf.fill(1000);
+  launch_warps(dev, "atomic_min", 1, [&](Warp& w, u64) {
+    w.atomic_min(buf, LaneArray<u64>::filled(2), LaneArray<u32>::iota(50));
+  });
+  EXPECT_EQ(buf[2], 50u);
+  EXPECT_EQ(buf[0], 1000u);
+}
+
+TEST_F(MemoryModelTest, SharedMemoryBankConflicts) {
+  launch_blocks(dev, "banks", 1, 1, [&](Block& blk) {
+    auto arr = blk.shared<u32>(2048);
+    Warp& w = blk.warp(0);
+    const u64 before = dev.events().smem_slots;
+    // Unit stride: conflict-free.
+    w.smem_read(arr, LaneArray<u32>::iota());
+    EXPECT_EQ(dev.events().smem_slots - before, 1u);
+    // Stride 32: all lanes in bank 0 -> 32-way serialization.
+    const auto strided = LaneArray<u32>::iota().map([](u32 i) { return i * 32; });
+    w.smem_read(arr, strided);
+    EXPECT_EQ(dev.events().smem_slots - before, 1u + 32u);
+    // Broadcast (all lanes same word): free, one pass.
+    w.smem_read(arr, LaneArray<u32>::filled(5));
+    EXPECT_EQ(dev.events().smem_slots - before, 1u + 32u + 1u);
+  });
+}
+
+TEST_F(MemoryModelTest, SharedMemoryOvercommitIsTracked) {
+  launch_blocks(dev, "smem_over", 1, 1, [&](Block& blk) {
+    blk.shared<u32>(1024);
+    EXPECT_FALSE(blk.smem_overcommitted());
+    blk.shared<u32>(64 * 1024);  // blow past 48 kB
+    EXPECT_TRUE(blk.smem_overcommitted());
+    EXPECT_GT(blk.peak_smem_bytes(), dev.profile().smem_bytes_per_block);
+  });
+}
+
+TEST_F(MemoryModelTest, KernelBracketingIsEnforced) {
+  EXPECT_THROW(dev.end_kernel(), std::logic_error);
+  dev.begin_kernel("a");
+  EXPECT_THROW(dev.begin_kernel("b"), std::logic_error);
+  dev.end_kernel();
+}
+
+TEST_F(MemoryModelTest, DeviceFillAndCopyWork) {
+  DeviceBuffer<u32> a(dev, 1000), b(dev, 1000);
+  device_fill<u32>(dev, a, 42);
+  for (u64 i = 0; i < 1000; ++i) ASSERT_EQ(a[i], 42u);
+  for (u64 i = 0; i < 1000; ++i) a[i] = static_cast<u32>(i * 3);
+  device_copy(dev, b, a);
+  for (u64 i = 0; i < 1000; ++i) ASSERT_EQ(b[i], i * 3);
+  DeviceBuffer<u32> c(dev, 100);
+  device_copy_n(dev, c, 10, a, 500, 80);
+  for (u64 i = 0; i < 80; ++i) ASSERT_EQ(c[10 + i], (500 + i) * 3);
+}
+
+TEST_F(MemoryModelTest, TimingSectionsSumKernels) {
+  DeviceBuffer<u32> a(dev, 4096);
+  const u64 m0 = dev.mark();
+  device_fill<u32>(dev, a, 1);
+  const u64 m1 = dev.mark();
+  device_fill<u32>(dev, a, 2);
+  const auto s0 = dev.summary_since(m0);
+  const auto s1 = dev.summary_since(m1);
+  EXPECT_EQ(s0.kernels, 2u);
+  EXPECT_EQ(s1.kernels, 1u);
+  EXPECT_NEAR(s0.total_ms, dev.total_ms(), 1e-12);
+  EXPECT_GT(s0.total_ms, s1.total_ms);
+}
+
+}  // namespace
+}  // namespace ms::sim

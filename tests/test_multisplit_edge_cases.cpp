@@ -1,0 +1,172 @@
+// Edge cases for all multisplit methods: tiny inputs, warp/block boundary
+// sizes, m = 1, empty buckets, everything-in-one-bucket, identity keys,
+// and configuration corners (NW, items_per_thread).
+#include <gtest/gtest.h>
+
+#include "multisplit_test_util.hpp"
+
+namespace ms::test {
+namespace {
+
+using split::Method;
+using split::MultisplitConfig;
+using split::RangeBucket;
+
+const Method kAllMethods[] = {Method::kDirect,
+                              Method::kWarpLevel,
+                              Method::kBlockLevel,
+                              Method::kRecursiveScanSplit,
+                              Method::kReducedBitSort,
+                              Method::kRandomizedInsertion,
+                              Method::kFusedBucketSort};
+
+class EdgeSizes : public ::testing::TestWithParam<u64> {};
+
+TEST_P(EdgeSizes, AllMethodsHandleBoundarySizes) {
+  const u64 n = GetParam();
+  workload::WorkloadConfig wc;
+  wc.seed = n;
+  const auto host = workload::generate_keys(n, wc);
+  for (const Method meth : kAllMethods) {
+    sim::Device dev;
+    sim::DeviceBuffer<u32> in(dev, std::span<const u32>(host)), out(dev, n);
+    MultisplitConfig cfg;
+    cfg.method = meth;
+    const auto r = split::multisplit_keys(dev, in, out, 4, RangeBucket{4}, cfg);
+    expect_valid_multisplit(host, buffer_to_vector(out), r.bucket_offsets, 4,
+                            RangeBucket{4}, is_stable(meth));
+  }
+}
+
+// 1 element; sub-warp; warp-1; warp; warp+1; tile boundaries of the
+// warp-coarsened (128) and block (256) subproblems; scan tile (2048).
+INSTANTIATE_TEST_SUITE_P(BoundarySizes, EdgeSizes,
+                         ::testing::Values(1ull, 5ull, 31ull, 32ull, 33ull,
+                                           127ull, 128ull, 129ull, 255ull,
+                                           256ull, 257ull, 2047ull, 2048ull,
+                                           2049ull));
+
+TEST(EdgeCases, SingleBucketIsIdentityPermutation) {
+  const u64 n = 10000;
+  workload::WorkloadConfig wc;
+  const auto host = workload::generate_keys(n, wc);
+  for (const Method meth :
+       {Method::kDirect, Method::kWarpLevel, Method::kBlockLevel,
+        Method::kReducedBitSort}) {
+    sim::Device dev;
+    sim::DeviceBuffer<u32> in(dev, std::span<const u32>(host)), out(dev, n);
+    MultisplitConfig cfg;
+    cfg.method = meth;
+    const auto r = split::multisplit_keys(dev, in, out, 1, RangeBucket{1}, cfg);
+    EXPECT_EQ(r.bucket_offsets, (std::vector<u32>{0, static_cast<u32>(n)}));
+    // Stability with one bucket means the output IS the input.
+    EXPECT_EQ(buffer_to_vector(out), host) << to_string(meth);
+  }
+}
+
+TEST(EdgeCases, AllKeysInOneBucketOfMany) {
+  const u64 n = 30000;
+  std::vector<u32> host(n, 0x40000000u);  // all in bucket 2 of 8
+  for (const Method meth : kAllMethods) {
+    sim::Device dev;
+    sim::DeviceBuffer<u32> in(dev, std::span<const u32>(host)), out(dev, n);
+    MultisplitConfig cfg;
+    cfg.method = meth;
+    const auto r = split::multisplit_keys(dev, in, out, 8, RangeBucket{8}, cfg);
+    expect_valid_multisplit(host, buffer_to_vector(out), r.bucket_offsets, 8,
+                            RangeBucket{8}, is_stable(meth));
+    EXPECT_EQ(r.bucket_offsets[2], 0u);
+    EXPECT_EQ(r.bucket_offsets[3], n);
+  }
+}
+
+TEST(EdgeCases, EmptyMiddleBucketsReportZeroWidth) {
+  // Keys only in buckets 0 and 7; offsets for 1..7 must collapse.
+  const u64 n = 5000;
+  std::vector<u32> host(n);
+  for (u64 i = 0; i < n; ++i) host[i] = (i % 2 == 0) ? 0u : 0xFFFFFFFFu;
+  for (const Method meth : kAllMethods) {
+    sim::Device dev;
+    sim::DeviceBuffer<u32> in(dev, std::span<const u32>(host)), out(dev, n);
+    MultisplitConfig cfg;
+    cfg.method = meth;
+    const auto r = split::multisplit_keys(dev, in, out, 8, RangeBucket{8}, cfg);
+    expect_valid_multisplit(host, buffer_to_vector(out), r.bucket_offsets, 8,
+                            RangeBucket{8}, is_stable(meth));
+    for (u32 j = 1; j <= 7; ++j)
+      EXPECT_EQ(r.bucket_offsets[j], n / 2) << to_string(meth) << " j=" << j;
+  }
+}
+
+TEST(EdgeCases, IdentityBucketKeys) {
+  // Keys drawn from {0..m-1} with identity buckets (Section 3.1's trivial
+  // case) -- must still work through the general machinery.
+  const u64 n = 20000;
+  workload::WorkloadConfig wc;
+  wc.dist = workload::Distribution::kIdentity;
+  wc.m = 16;
+  const auto host = workload::generate_keys(n, wc);
+  for (const Method meth : kAllMethods) {
+    sim::Device dev;
+    sim::DeviceBuffer<u32> in(dev, std::span<const u32>(host)), out(dev, n);
+    MultisplitConfig cfg;
+    cfg.method = meth;
+    const auto r = split::multisplit_keys(dev, in, out, 16,
+                                          split::IdentityBucket{}, cfg);
+    expect_valid_multisplit(host, buffer_to_vector(out), r.bucket_offsets, 16,
+                            split::IdentityBucket{}, is_stable(meth));
+    // With identity buckets a valid multisplit is a full sort.
+    for (u64 i = 1; i < n; ++i) ASSERT_LE(out[i - 1], out[i]);
+  }
+}
+
+class ConfigSweep : public ::testing::TestWithParam<std::pair<u32, u32>> {};
+
+TEST_P(ConfigSweep, WarpsPerBlockAndCoarsening) {
+  const auto [nw, ipt] = GetParam();
+  const u64 n = 40000;
+  workload::WorkloadConfig wc;
+  wc.seed = nw * 100 + ipt;
+  const auto host = workload::generate_keys(n, wc);
+  for (const Method meth :
+       {Method::kDirect, Method::kWarpLevel, Method::kBlockLevel}) {
+    sim::Device dev;
+    sim::DeviceBuffer<u32> in(dev, std::span<const u32>(host)), out(dev, n);
+    MultisplitConfig cfg;
+    cfg.method = meth;
+    cfg.warps_per_block = nw;
+    cfg.items_per_thread = ipt;
+    cfg.block_items_per_thread = ipt;  // exercises coarsened block MS too
+    const auto r = split::multisplit_keys(dev, in, out, 13, RangeBucket{13}, cfg);
+    expect_valid_multisplit(host, buffer_to_vector(out), r.bucket_offsets, 13,
+                            RangeBucket{13}, true);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Tunings, ConfigSweep,
+                         ::testing::Values(std::pair<u32, u32>{1, 1},
+                                           std::pair<u32, u32>{2, 1},
+                                           std::pair<u32, u32>{2, 4},
+                                           std::pair<u32, u32>{8, 1},
+                                           std::pair<u32, u32>{8, 8},
+                                           std::pair<u32, u32>{16, 2}));
+
+TEST(EdgeCases, DuplicateHeavyInput) {
+  // Millions of ties stress the stable-rank paths.
+  const u64 n = 60000;
+  std::vector<u32> host(n);
+  std::mt19937 rng(42);
+  for (auto& k : host) k = (rng() % 4) << 30;  // 4 distinct keys
+  for (const Method meth : kAllMethods) {
+    sim::Device dev;
+    sim::DeviceBuffer<u32> in(dev, std::span<const u32>(host)), out(dev, n);
+    MultisplitConfig cfg;
+    cfg.method = meth;
+    const auto r = split::multisplit_keys(dev, in, out, 4, RangeBucket{4}, cfg);
+    expect_valid_multisplit(host, buffer_to_vector(out), r.bucket_offsets, 4,
+                            RangeBucket{4}, is_stable(meth));
+  }
+}
+
+}  // namespace
+}  // namespace ms::test

@@ -1,0 +1,96 @@
+// Randomized stress sweep: for a set of seeds, draw random (method, m, n,
+// distribution, NW, items-per-thread, value width) configurations and
+// check the full multisplit contract on each.  This is the net under the
+// targeted suites -- anything the structured tests miss tends to show up
+// here first.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "multisplit_test_util.hpp"
+
+namespace ms::test {
+namespace {
+
+using split::Method;
+using split::MultisplitConfig;
+using split::RangeBucket;
+
+class Fuzz : public ::testing::TestWithParam<u32> {};
+
+TEST_P(Fuzz, RandomConfigurationsHoldTheContract) {
+  std::mt19937_64 rng(GetParam() * 0x9E3779B9u + 1);
+  for (int iter = 0; iter < 6; ++iter) {
+    const Method methods[] = {Method::kDirect,
+                              Method::kWarpLevel,
+                              Method::kBlockLevel,
+                              Method::kRecursiveScanSplit,
+                              Method::kReducedBitSort,
+                              Method::kRandomizedInsertion,
+                              Method::kFusedBucketSort};
+    const Method meth = methods[rng() % std::size(methods)];
+    const bool big_m_ok = (meth == Method::kBlockLevel ||
+                           meth == Method::kReducedBitSort ||
+                           meth == Method::kFusedBucketSort ||
+                           meth == Method::kRecursiveScanSplit ||
+                           meth == Method::kDirect);
+    const u32 m = 1 + static_cast<u32>(rng() % (big_m_ok ? 100 : 32));
+    const u64 n = 1 + rng() % 50000;
+    const workload::Distribution dists[] = {
+        workload::Distribution::kUniform, workload::Distribution::kBinomial,
+        workload::Distribution::kSkewedOne,
+        workload::Distribution::kSortedUniform};
+    workload::WorkloadConfig wc;
+    wc.dist = dists[rng() % std::size(dists)];
+    wc.m = m;
+    wc.seed = rng();
+    const auto host = workload::generate_keys(n, wc);
+
+    MultisplitConfig cfg;
+    cfg.method = meth;
+    cfg.warps_per_block = 1u << (rng() % 4);  // 1, 2, 4, 8
+    cfg.items_per_thread = 1u << (rng() % 3);
+    cfg.block_items_per_thread = 1u << (rng() % 3);
+
+    SCOPED_TRACE(::testing::Message()
+                 << to_string(meth) << " m=" << m << " n=" << n << " dist="
+                 << workload::to_string(wc.dist) << " nw="
+                 << cfg.warps_per_block << " ipt=" << cfg.items_per_thread);
+
+    const bool kv = (meth != Method::kRandomizedInsertion) && (rng() % 2);
+    sim::Device dev;
+    sim::DeviceBuffer<u32> in(dev, std::span<const u32>(host)), out(dev, n);
+    if (!kv) {
+      const auto r =
+          split::multisplit_keys(dev, in, out, m, RangeBucket{m}, cfg);
+      expect_valid_multisplit(host, buffer_to_vector(out), r.bucket_offsets,
+                              m, RangeBucket{m}, is_stable(meth));
+    } else if (rng() % 2) {
+      const auto vals = workload::identity_values(n);
+      sim::DeviceBuffer<u32> vin(dev, std::span<const u32>(vals));
+      sim::DeviceBuffer<u32> kout(dev, n), vout(dev, n);
+      const auto r = split::multisplit_pairs(dev, in, vin, kout, vout, m,
+                                             RangeBucket{m}, cfg);
+      expect_valid_multisplit(host, buffer_to_vector(kout), r.bucket_offsets,
+                              m, RangeBucket{m}, true);
+      for (u64 i = 0; i < n; ++i) ASSERT_EQ(kout[i], host[vout[i]]);
+    } else {
+      sim::DeviceBuffer<u64> vin(dev, n), vout(dev, n);
+      for (u64 i = 0; i < n; ++i) vin[i] = (u64{0xA5} << 32) | i;
+      sim::DeviceBuffer<u32> kout(dev, n);
+      const auto r = split::multisplit_pairs(dev, in, vin, kout, vout, m,
+                                             RangeBucket{m}, cfg);
+      expect_valid_multisplit(host, buffer_to_vector(kout), r.bucket_offsets,
+                              m, RangeBucket{m}, true);
+      for (u64 i = 0; i < n; ++i) {
+        ASSERT_EQ(vout[i] >> 32, 0xA5u);
+        ASSERT_EQ(kout[i], host[vout[i] & 0xFFFFFFFF]);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Fuzz, ::testing::Range(1u, 17u));
+
+}  // namespace
+}  // namespace ms::test

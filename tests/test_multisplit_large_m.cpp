@@ -1,0 +1,145 @@
+// Block-level multisplit beyond the warp width (paper Sections 5.3 / 6.4):
+// the row-vectorized shared-memory path, shared-memory pressure tracking,
+// and the reduced-bit sort at large m.
+#include <gtest/gtest.h>
+
+#include "multisplit_test_util.hpp"
+
+namespace ms::test {
+namespace {
+
+using split::Method;
+using split::MultisplitConfig;
+using split::RangeBucket;
+
+class LargeM : public ::testing::TestWithParam<u32> {};
+
+TEST_P(LargeM, BlockLevelKeyOnly) {
+  const u32 m = GetParam();
+  const u64 n = 60000;
+  workload::WorkloadConfig wc;
+  wc.m = m;
+  wc.seed = m;
+  const auto host = workload::generate_keys(n, wc);
+  sim::Device dev;
+  sim::DeviceBuffer<u32> in(dev, std::span<const u32>(host)), out(dev, n);
+  MultisplitConfig cfg;
+  cfg.method = Method::kBlockLevel;
+  const auto r = split::multisplit_keys(dev, in, out, m, RangeBucket{m}, cfg);
+  expect_valid_multisplit(host, buffer_to_vector(out), r.bucket_offsets, m,
+                          RangeBucket{m}, true);
+}
+
+TEST_P(LargeM, BlockLevelKeyValue) {
+  const u32 m = GetParam();
+  const u64 n = 40000;
+  workload::WorkloadConfig wc;
+  wc.m = m;
+  wc.seed = m + 17;
+  const auto host = workload::generate_keys(n, wc);
+  const auto vals = workload::identity_values(n);
+  sim::Device dev;
+  sim::DeviceBuffer<u32> kin(dev, std::span<const u32>(host));
+  sim::DeviceBuffer<u32> vin(dev, std::span<const u32>(vals));
+  sim::DeviceBuffer<u32> kout(dev, n), vout(dev, n);
+  MultisplitConfig cfg;
+  cfg.method = Method::kBlockLevel;
+  const auto r = split::multisplit_pairs(dev, kin, vin, kout, vout, m,
+                                         RangeBucket{m}, cfg);
+  expect_valid_multisplit(host, buffer_to_vector(kout), r.bucket_offsets, m,
+                          RangeBucket{m}, true);
+  for (u64 i = 0; i < n; ++i) ASSERT_EQ(kout[i], host[vout[i]]);
+}
+
+TEST_P(LargeM, DirectLinearizedKeyValue) {
+  // Section 5.3: Direct MS past the warp width (linearized histograms).
+  const u32 m = GetParam();
+  const u64 n = 40000;
+  workload::WorkloadConfig wc;
+  wc.m = m;
+  wc.seed = m + 3;
+  const auto host = workload::generate_keys(n, wc);
+  const auto vals = workload::identity_values(n);
+  sim::Device dev;
+  sim::DeviceBuffer<u32> kin(dev, std::span<const u32>(host));
+  sim::DeviceBuffer<u32> vin(dev, std::span<const u32>(vals));
+  sim::DeviceBuffer<u32> kout(dev, n), vout(dev, n);
+  MultisplitConfig cfg;
+  cfg.method = Method::kDirect;
+  const auto r = split::multisplit_pairs(dev, kin, vin, kout, vout, m,
+                                         RangeBucket{m}, cfg);
+  expect_valid_multisplit(host, buffer_to_vector(kout), r.bucket_offsets, m,
+                          RangeBucket{m}, true);
+  for (u64 i = 0; i < n; ++i) ASSERT_EQ(kout[i], host[vout[i]]);
+}
+
+TEST_P(LargeM, FusedBucketSortKeyOnly) {
+  const u32 m = GetParam();
+  const u64 n = 50000;
+  workload::WorkloadConfig wc;
+  wc.m = m;
+  wc.seed = m + 5;
+  const auto host = workload::generate_keys(n, wc);
+  sim::Device dev;
+  sim::DeviceBuffer<u32> in(dev, std::span<const u32>(host)), out(dev, n);
+  MultisplitConfig cfg;
+  cfg.method = Method::kFusedBucketSort;
+  const auto r = split::multisplit_keys(dev, in, out, m, RangeBucket{m}, cfg);
+  expect_valid_multisplit(host, buffer_to_vector(out), r.bucket_offsets, m,
+                          RangeBucket{m}, true);
+}
+
+TEST_P(LargeM, ReducedBitSortKeyOnly) {
+  const u32 m = GetParam();
+  const u64 n = 50000;
+  workload::WorkloadConfig wc;
+  wc.m = m;
+  wc.seed = m + 99;
+  const auto host = workload::generate_keys(n, wc);
+  sim::Device dev;
+  sim::DeviceBuffer<u32> in(dev, std::span<const u32>(host)), out(dev, n);
+  MultisplitConfig cfg;
+  cfg.method = Method::kReducedBitSort;
+  const auto r = split::multisplit_keys(dev, in, out, m, RangeBucket{m}, cfg);
+  expect_valid_multisplit(host, buffer_to_vector(out), r.bucket_offsets, m,
+                          RangeBucket{m}, true);
+}
+
+INSTANTIATE_TEST_SUITE_P(BucketCounts, LargeM,
+                         ::testing::Values(33u, 64u, 96u, 128u, 250u, 256u,
+                                           1000u));
+
+TEST(LargeMRejects, WarpLevelReorderingCapsAt32) {
+  sim::Device dev;
+  sim::DeviceBuffer<u32> in(dev, 1024), out(dev, 1024);
+  MultisplitConfig cfg;
+  cfg.method = Method::kWarpLevel;
+  EXPECT_THROW(split::multisplit_keys(dev, in, out, 33, RangeBucket{33}, cfg),
+               std::logic_error);
+}
+
+TEST(LargeMSmem, SharedMemoryScalesWithBucketCount) {
+  // Section 6.4: shared memory per block grows ~linearly in m -- that is
+  // the bottleneck the paper calls out.  Verify the simulator records the
+  // growth (m * NW words for the row-vectorized histogram).
+  const u64 n = 4096;
+  workload::WorkloadConfig wc;
+  const auto host = workload::generate_keys(n, wc);
+  u32 peak_small = 0, peak_large = 0;
+  {
+    sim::Device dev;
+    sim::DeviceBuffer<u32> in(dev, std::span<const u32>(host)), out(dev, n);
+    sim::launch_blocks(dev, "probe", 1, 8, [&](sim::Block& blk) {
+      blk.shared<u32>(64 * 8);
+      peak_small = blk.peak_smem_bytes();
+    });
+    sim::launch_blocks(dev, "probe", 1, 8, [&](sim::Block& blk) {
+      blk.shared<u32>(1024 * 8);
+      peak_large = blk.peak_smem_bytes();
+    });
+  }
+  EXPECT_EQ(peak_large, 16 * peak_small);
+}
+
+}  // namespace
+}  // namespace ms::test

@@ -1,0 +1,176 @@
+// Regression guard for the reproduction itself: the paper's headline
+// *orderings* (who wins where) must keep holding on the cost model.  If a
+// future change to the simulator or the kernels flips one of these, this
+// suite -- not a human reading bench output -- catches it.
+//
+// Each claim cites the paper section it comes from.  Sizes are chosen
+// large enough that launch overheads don't dominate (n = 2^19).
+#include <gtest/gtest.h>
+
+#include "multisplit_test_util.hpp"
+#include "multisplit/sort_baselines.hpp"
+
+namespace ms::test {
+namespace {
+
+using split::Method;
+using split::MultisplitConfig;
+using split::RangeBucket;
+
+constexpr u64 kN = 1u << 19;
+
+split::MultisplitResult run(Method meth, u32 m, bool kv, u64 seed = 7) {
+  workload::WorkloadConfig wc;
+  wc.m = m;
+  wc.seed = seed;
+  const auto host = workload::generate_keys(kN, wc);
+  sim::Device dev;
+  sim::DeviceBuffer<u32> in(dev, std::span<const u32>(host)), out(dev, kN);
+  MultisplitConfig cfg;
+  cfg.method = meth;
+  if (!kv) return split::multisplit_keys(dev, in, out, m, RangeBucket{m}, cfg);
+  const auto vals = workload::identity_values(kN);
+  sim::DeviceBuffer<u32> vin(dev, std::span<const u32>(vals));
+  sim::DeviceBuffer<u32> kout(dev, kN), vout(dev, kN);
+  return split::multisplit_pairs(dev, in, vin, kout, vout, m, RangeBucket{m},
+                                 cfg);
+}
+
+f64 radix_ms(bool kv) {
+  workload::WorkloadConfig wc;
+  const auto host = workload::generate_keys(kN, wc);
+  sim::Device dev;
+  sim::DeviceBuffer<u32> in(dev, std::span<const u32>(host)), out(dev, kN);
+  if (!kv) {
+    return split::radix_sort_multisplit_keys(dev, in, out, 2, RangeBucket{2})
+        .total_ms();
+  }
+  const auto vals = workload::identity_values(kN);
+  sim::DeviceBuffer<u32> vin(dev, std::span<const u32>(vals));
+  sim::DeviceBuffer<u32> kout(dev, kN), vout(dev, kN);
+  return split::radix_sort_multisplit_pairs(dev, in, vin, kout, vout, 2,
+                                            RangeBucket{2})
+      .total_ms();
+}
+
+TEST(PaperShapes, WarpBeatsDirectAtSmallM_KeyOnly) {
+  // Table 4 / Figure 3a: warp-level reordering pays at m = 2.
+  EXPECT_LT(run(Method::kWarpLevel, 2, false).total_ms(),
+            run(Method::kDirect, 2, false).total_ms());
+}
+
+TEST(PaperShapes, DirectBeatsWarpAtM32_KeyOnly) {
+  // Table 4: at m = 32 key-only the reorder no longer pays.
+  EXPECT_LT(run(Method::kDirect, 32, false).total_ms(),
+            run(Method::kWarpLevel, 32, false).total_ms());
+}
+
+TEST(PaperShapes, BlockIsWorstAtM2_KeyOnly) {
+  // Table 4: block-level's hierarchy overhead dominates at tiny m.
+  const f64 block = run(Method::kBlockLevel, 2, false).total_ms();
+  EXPECT_GT(block, run(Method::kDirect, 2, false).total_ms());
+  EXPECT_GT(block, run(Method::kWarpLevel, 2, false).total_ms());
+}
+
+TEST(PaperShapes, BlockIsBestAtM32) {
+  // Table 4 / Figure 3: block-level wins at large m, both scenarios.
+  for (const bool kv : {false, true}) {
+    const f64 block = run(Method::kBlockLevel, 32, kv).total_ms();
+    EXPECT_LT(block, run(Method::kDirect, 32, kv).total_ms()) << "kv=" << kv;
+    EXPECT_LT(block, run(Method::kWarpLevel, 32, kv).total_ms()) << "kv=" << kv;
+  }
+}
+
+TEST(PaperShapes, DirectIsWorstAtM32_KeyValue) {
+  // Table 4: two fragmented scatters (keys + values) sink Direct MS.
+  const f64 direct = run(Method::kDirect, 32, true).total_ms();
+  EXPECT_GT(direct, run(Method::kWarpLevel, 32, true).total_ms());
+  EXPECT_GT(direct, run(Method::kBlockLevel, 32, true).total_ms());
+}
+
+TEST(PaperShapes, EveryProposedMethodBeatsRadixSortByAtLeast2x) {
+  // Abstract / Table 6: 3.0-6.7x key-only, 4.4-8.0x key-value.
+  for (const bool kv : {false, true}) {
+    const f64 radix = radix_ms(kv);
+    for (const Method meth :
+         {Method::kDirect, Method::kWarpLevel, Method::kBlockLevel}) {
+      for (const u32 m : {2u, 8u, 32u}) {
+        EXPECT_GT(radix / run(meth, m, kv).total_ms(), 2.0)
+            << to_string(meth) << " m=" << m << " kv=" << kv;
+      }
+    }
+  }
+}
+
+TEST(PaperShapes, ReducedBitSortBeatsFullSortButLosesToMultisplit) {
+  // Sections 3.4 / 6.2: reduced-bit sort is the best sort-based option,
+  // and still loses to the proposed methods for m <= 32.
+  const f64 radix = radix_ms(false);
+  for (const u32 m : {2u, 8u, 32u}) {
+    const f64 rbs = run(Method::kReducedBitSort, m, false).total_ms();
+    EXPECT_LT(rbs, radix) << "m=" << m;
+    EXPECT_GT(rbs, run(Method::kBlockLevel, m, false).total_ms()) << "m=" << m;
+  }
+}
+
+TEST(PaperShapes, RecursiveSplitScalesWithLogM) {
+  // Section 3.2 / Table 4: ceil(log2 m) split rounds.
+  const f64 m2 = run(Method::kRecursiveScanSplit, 2, false).total_ms();
+  const f64 m32 = run(Method::kRecursiveScanSplit, 32, false).total_ms();
+  EXPECT_GT(m32 / m2, 3.5);  // 5 rounds vs 1, minus shared labeling effects
+  EXPECT_LT(m32 / m2, 6.5);
+}
+
+TEST(PaperShapes, BlockScanStageIsFlattestInM) {
+  // Table 1 / Table 4: block-level's global scan is NW x smaller.
+  const auto d2 = run(Method::kDirect, 2, false);
+  const auto d32 = run(Method::kDirect, 32, false);
+  const auto b2 = run(Method::kBlockLevel, 2, false);
+  const auto b32 = run(Method::kBlockLevel, 32, false);
+  EXPECT_LT(b32.stages.scan_ms, d32.stages.scan_ms);
+  // Direct's scan grows by much more than block's between m=2 and m=32.
+  EXPECT_GT(d32.stages.scan_ms - d2.stages.scan_ms,
+            2.0 * (b32.stages.scan_ms - b2.stages.scan_ms));
+}
+
+TEST(PaperShapes, FusedSortBeatsReducedBitSort) {
+  // Section 3.4's future-work prediction, verified by the implementation.
+  for (const u32 m : {2u, 32u, 256u}) {
+    EXPECT_LT(run(Method::kFusedBucketSort, m, false).total_ms(),
+              run(Method::kReducedBitSort, m, false).total_ms())
+        << "m=" << m;
+  }
+}
+
+TEST(PaperShapes, BlockLevelDegradesLinearlyPast32Buckets) {
+  // Figure 4: block-level MS cost grows ~linearly in m (shared-memory
+  // histogram pressure), reduced-bit sort only logarithmically.
+  const f64 b64 = run(Method::kBlockLevel, 64, false).total_ms();
+  const f64 b512 = run(Method::kBlockLevel, 512, false).total_ms();
+  EXPECT_GT(b512 / b64, 3.0);
+  const f64 r64 = run(Method::kReducedBitSort, 64, false).total_ms();
+  const f64 r512 = run(Method::kReducedBitSort, 512, false).total_ms();
+  EXPECT_LT(r512 / r64, 1.8);
+}
+
+TEST(PaperShapes, ThreadCoarseningShrinksTheScanStage) {
+  // Footnote 5: k items per thread cut the histogram matrix ~1/k.  Needs
+  // a size where the scan stage is not pure launch overhead.
+  const u64 n = 1u << 21;
+  workload::WorkloadConfig wc;
+  const auto host = workload::generate_keys(n, wc);
+  f64 scan_k1 = 0, scan_k8 = 0;
+  for (const u32 k : {1u, 8u}) {
+    sim::Device dev;
+    sim::DeviceBuffer<u32> in(dev, std::span<const u32>(host)), out(dev, n);
+    MultisplitConfig cfg;
+    cfg.method = Method::kDirect;
+    cfg.items_per_thread = k;
+    const auto r = split::multisplit_keys(dev, in, out, 8, RangeBucket{8}, cfg);
+    (k == 1 ? scan_k1 : scan_k8) = r.stages.scan_ms;
+  }
+  EXPECT_LT(scan_k8, 0.5 * scan_k1);
+}
+
+}  // namespace
+}  // namespace ms::test

@@ -1,0 +1,178 @@
+// The radix sort baseline: correctness (vs std::sort), stability, partial
+// bit ranges (the reduced-bit use case), value payload types, and tuning
+// configurations.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+#include "primitives/radix_sort.hpp"
+
+namespace ms::prim {
+namespace {
+
+using sim::Device;
+using sim::DeviceBuffer;
+
+class RadixSortTest : public ::testing::TestWithParam<u64> {};
+
+TEST_P(RadixSortTest, KeysMatchStdSort) {
+  const u64 n = GetParam();
+  Device dev;
+  std::mt19937 rng(static_cast<u32>(n));
+  DeviceBuffer<u32> keys(dev, n);
+  std::vector<u32> ref(n);
+  for (u64 i = 0; i < n; ++i) ref[i] = keys[i] = rng();
+
+  sort_keys(dev, keys);
+  std::sort(ref.begin(), ref.end());
+  for (u64 i = 0; i < n; ++i) ASSERT_EQ(keys[i], ref[i]) << "index " << i;
+}
+
+TEST_P(RadixSortTest, PairsAreStable) {
+  const u64 n = GetParam();
+  Device dev;
+  std::mt19937 rng(static_cast<u32>(n) + 5);
+  DeviceBuffer<u32> keys(dev, n), vals(dev, n);
+  // Few distinct keys force many ties; values record original positions.
+  for (u64 i = 0; i < n; ++i) {
+    keys[i] = rng() % 50;
+    vals[i] = static_cast<u32>(i);
+  }
+  std::vector<u32> ref_keys(keys.host().begin(), keys.host().end());
+
+  sort_pairs<u32>(dev, keys, vals);
+
+  std::vector<u32> sorted = ref_keys;
+  std::stable_sort(sorted.begin(), sorted.end());
+  for (u64 i = 0; i < n; ++i) {
+    ASSERT_EQ(keys[i], sorted[i]);
+    ASSERT_EQ(ref_keys[vals[i]], keys[i]) << "value does not follow its key";
+    if (i > 0 && keys[i - 1] == keys[i]) {
+      ASSERT_LT(vals[i - 1], vals[i]) << "stability violated at " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RadixSortTest,
+                         ::testing::Values(1ull, 2ull, 32ull, 1000ull,
+                                           2048ull, 2049ull, 50000ull,
+                                           100001ull));
+
+TEST(RadixSortBits, PartialBitRangeSortsOnlyThoseBits) {
+  Device dev;
+  const u64 n = 10000;
+  std::mt19937 rng(7);
+  DeviceBuffer<u32> keys(dev, n), vals(dev, n);
+  for (u64 i = 0; i < n; ++i) {
+    keys[i] = rng();
+    vals[i] = static_cast<u32>(i);
+  }
+  std::vector<u32> ref(keys.host().begin(), keys.host().end());
+
+  // Sort by bits [0, 4) only: a 1-pass stable counting sort on the low
+  // nibble -- the reduced-bit sort's workhorse.
+  sort_pairs<u32>(dev, keys, vals, 0, 4);
+  for (u64 i = 1; i < n; ++i) {
+    ASSERT_LE(keys[i - 1] & 0xF, keys[i] & 0xF) << "index " << i;
+  }
+  // Stability within equal nibbles.
+  for (u64 i = 1; i < n; ++i) {
+    if ((keys[i - 1] & 0xF) == (keys[i] & 0xF))
+      ASSERT_LT(vals[i - 1], vals[i]);
+  }
+  for (u64 i = 0; i < n; ++i) ASSERT_EQ(keys[i], ref[vals[i]]);
+}
+
+TEST(RadixSortBits, HighBitRange) {
+  Device dev;
+  const u64 n = 5000;
+  std::mt19937 rng(8);
+  DeviceBuffer<u32> keys(dev, n);
+  for (u64 i = 0; i < n; ++i) keys[i] = rng();
+  sort_keys(dev, keys, 24, 32);
+  for (u64 i = 1; i < n; ++i) ASSERT_LE(keys[i - 1] >> 24, keys[i] >> 24);
+}
+
+TEST(RadixSortValues, U64PayloadSurvives) {
+  // The reduced-bit key-value path packs (key,value) into u64 payloads.
+  Device dev;
+  const u64 n = 20000;
+  std::mt19937_64 rng(9);
+  DeviceBuffer<u32> keys(dev, n);
+  DeviceBuffer<u64> vals(dev, n);
+  std::vector<std::pair<u32, u64>> ref(n);
+  for (u64 i = 0; i < n; ++i) {
+    keys[i] = static_cast<u32>(rng()) % 256;
+    vals[i] = rng();
+    ref[i] = {keys[i], vals[i]};
+  }
+  sort_pairs<u64>(dev, keys, vals, 0, 8);
+  std::stable_sort(ref.begin(), ref.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (u64 i = 0; i < n; ++i) {
+    ASSERT_EQ(keys[i], ref[i].first);
+    ASSERT_EQ(vals[i], ref[i].second);
+  }
+}
+
+TEST(RadixSortConfigs, NonDefaultTuningsStillSort) {
+  const u64 n = 30000;
+  for (const u32 bits : {1u, 2u, 3u, 4u, 5u}) {
+    for (const u32 ipt : {2u, 8u}) {
+      Device dev;
+      std::mt19937 rng(bits * 10 + ipt);
+      DeviceBuffer<u32> keys(dev, n);
+      std::vector<u32> ref(n);
+      for (u64 i = 0; i < n; ++i) ref[i] = keys[i] = rng();
+      RadixSortConfig cfg;
+      cfg.bits_per_pass = bits;
+      cfg.items_per_thread = ipt;
+      sort_keys(dev, keys, 0, 32, cfg);
+      std::sort(ref.begin(), ref.end());
+      for (u64 i = 0; i < n; ++i)
+        ASSERT_EQ(keys[i], ref[i]) << "bits=" << bits << " ipt=" << ipt;
+    }
+  }
+}
+
+TEST(RadixSortConfigs, RejectsBadConfigs) {
+  Device dev;
+  DeviceBuffer<u32> keys(dev, 100);
+  RadixSortConfig cfg;
+  cfg.bits_per_pass = 6;
+  EXPECT_THROW(sort_keys(dev, keys, 0, 32, cfg), std::logic_error);
+  EXPECT_THROW(sort_keys(dev, keys, 8, 8), std::logic_error);
+  EXPECT_THROW(sort_keys(dev, keys, 0, 33), std::logic_error);
+}
+
+TEST(RadixSortCost, MoreBitsPerPassMeansFewerPasses) {
+  const u64 n = 1u << 16;
+  f64 t_small_digits, t_large_digits;
+  {
+    Device dev;
+    DeviceBuffer<u32> keys(dev, n);
+    std::mt19937 rng(1);
+    for (u64 i = 0; i < n; ++i) keys[i] = rng();
+    dev.clear_records();
+    RadixSortConfig cfg;
+    cfg.bits_per_pass = 1;
+    sort_keys(dev, keys, 0, 32, cfg);
+    t_small_digits = dev.total_ms();
+  }
+  {
+    Device dev;
+    DeviceBuffer<u32> keys(dev, n);
+    std::mt19937 rng(1);
+    for (u64 i = 0; i < n; ++i) keys[i] = rng();
+    dev.clear_records();
+    RadixSortConfig cfg;
+    cfg.bits_per_pass = 5;
+    sort_keys(dev, keys, 0, 32, cfg);
+    t_large_digits = dev.total_ms();
+  }
+  EXPECT_GT(t_small_digits, 2.0 * t_large_digits);
+}
+
+}  // namespace
+}  // namespace ms::prim

@@ -1,0 +1,133 @@
+// Randomized insertion (paper Section 3.5): validity under relaxation
+// sweeps, skewed inputs that force mid-flushes, and the cost trade-off the
+// paper analyzes (more relaxation = fewer collisions but more compaction).
+#include <gtest/gtest.h>
+
+#include "multisplit_test_util.hpp"
+
+namespace ms::test {
+namespace {
+
+using split::Method;
+using split::MultisplitConfig;
+using split::RangeBucket;
+
+class RelaxationSweep : public ::testing::TestWithParam<f64> {};
+
+TEST_P(RelaxationSweep, ValidAcrossRelaxationFactors) {
+  const f64 x = GetParam();
+  const u64 n = 60000;
+  workload::WorkloadConfig wc;
+  wc.seed = static_cast<u64>(x * 1000);
+  const auto host = workload::generate_keys(n, wc);
+  sim::Device dev;
+  sim::DeviceBuffer<u32> in(dev, std::span<const u32>(host)), out(dev, n);
+  MultisplitConfig cfg;
+  cfg.method = Method::kRandomizedInsertion;
+  cfg.relaxation = x;
+  const auto r = split::multisplit_keys(dev, in, out, 8, RangeBucket{8}, cfg);
+  expect_valid_multisplit(host, buffer_to_vector(out), r.bucket_offsets, 8,
+                          RangeBucket{8}, /*stable=*/false);
+}
+
+INSTANTIATE_TEST_SUITE_P(Factors, RelaxationSweep,
+                         ::testing::Values(1.25, 1.5, 2.0, 3.0, 4.0));
+
+TEST(RandomizedInsertion, SurvivesHeavySkewViaMidFlushes) {
+  // 90% of keys in one bucket: per-block shared buffers overflow and the
+  // mid-flush path must engage.
+  const u64 n = 40000;
+  std::mt19937 rng(5);
+  std::vector<u32> host(n);
+  for (auto& k : host) k = (rng() % 10 == 0) ? rng() : 0x10000000u;
+  sim::Device dev;
+  sim::DeviceBuffer<u32> in(dev, std::span<const u32>(host)), out(dev, n);
+  MultisplitConfig cfg;
+  cfg.method = Method::kRandomizedInsertion;
+  const auto r = split::multisplit_keys(dev, in, out, 16, RangeBucket{16}, cfg);
+  expect_valid_multisplit(host, buffer_to_vector(out), r.bucket_offsets, 16,
+                          RangeBucket{16}, false);
+}
+
+TEST(RandomizedInsertion, SortedInputClustersPerBlock) {
+  // Sorted input: each block sees only 1-2 buckets, the worst case for
+  // expected-share buffer sizing.
+  const u64 n = 50000;
+  workload::WorkloadConfig wc;
+  wc.dist = workload::Distribution::kSortedUniform;
+  const auto host = workload::generate_keys(n, wc);
+  sim::Device dev;
+  sim::DeviceBuffer<u32> in(dev, std::span<const u32>(host)), out(dev, n);
+  MultisplitConfig cfg;
+  cfg.method = Method::kRandomizedInsertion;
+  const auto r = split::multisplit_keys(dev, in, out, 8, RangeBucket{8}, cfg);
+  expect_valid_multisplit(host, buffer_to_vector(out), r.bucket_offsets, 8,
+                          RangeBucket{8}, false);
+}
+
+TEST(RandomizedInsertion, CollisionsDropWithRelaxation) {
+  const u64 n = 100000;
+  workload::WorkloadConfig wc;
+  const auto host = workload::generate_keys(n, wc);
+  u64 conflicts_tight, conflicts_loose;
+  {
+    sim::Device dev;
+    sim::DeviceBuffer<u32> in(dev, std::span<const u32>(host)), out(dev, n);
+    MultisplitConfig cfg;
+    cfg.method = Method::kRandomizedInsertion;
+    cfg.relaxation = 1.25;
+    split::multisplit_keys(dev, in, out, 8, RangeBucket{8}, cfg);
+    conflicts_tight = dev.summary_all().events.atomic_conflicts;
+  }
+  {
+    sim::Device dev;
+    sim::DeviceBuffer<u32> in(dev, std::span<const u32>(host)), out(dev, n);
+    MultisplitConfig cfg;
+    cfg.method = Method::kRandomizedInsertion;
+    cfg.relaxation = 4.0;
+    split::multisplit_keys(dev, in, out, 8, RangeBucket{8}, cfg);
+    conflicts_loose = dev.summary_all().events.atomic_conflicts;
+  }
+  EXPECT_GT(conflicts_tight, conflicts_loose);
+}
+
+TEST(RandomizedInsertion, SlowerThanDeterministicMethods) {
+  // Section 3.5's conclusion: contention-based insertion is not
+  // competitive.  It must lose to warp-level MS by a wide margin.
+  const u64 n = 1u << 17;
+  workload::WorkloadConfig wc;
+  const auto host = workload::generate_keys(n, wc);
+  f64 t_rand, t_warp;
+  {
+    sim::Device dev;
+    sim::DeviceBuffer<u32> in(dev, std::span<const u32>(host)), out(dev, n);
+    MultisplitConfig cfg;
+    cfg.method = Method::kRandomizedInsertion;
+    t_rand = split::multisplit_keys(dev, in, out, 8, RangeBucket{8}, cfg)
+                 .total_ms();
+  }
+  {
+    sim::Device dev;
+    sim::DeviceBuffer<u32> in(dev, std::span<const u32>(host)), out(dev, n);
+    MultisplitConfig cfg;
+    cfg.method = Method::kWarpLevel;
+    t_warp = split::multisplit_keys(dev, in, out, 8, RangeBucket{8}, cfg)
+                 .total_ms();
+  }
+  EXPECT_GT(t_rand, 2.0 * t_warp);
+}
+
+TEST(RandomizedInsertion, RejectsKeyValueAndLargeM) {
+  sim::Device dev;
+  sim::DeviceBuffer<u32> a(dev, 256), b(dev, 256), c(dev, 256), d(dev, 256);
+  MultisplitConfig cfg;
+  cfg.method = Method::kRandomizedInsertion;
+  EXPECT_THROW(
+      split::multisplit_pairs(dev, a, b, c, d, 4, RangeBucket{4}, cfg),
+      std::logic_error);
+  EXPECT_THROW(split::multisplit_keys(dev, a, c, 64, RangeBucket{64}, cfg),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace ms::test

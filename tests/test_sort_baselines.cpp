@@ -1,0 +1,81 @@
+// Sort-based multisplit baselines (full radix sort, identity-bucket sort).
+#include <gtest/gtest.h>
+
+#include "multisplit_test_util.hpp"
+
+namespace ms::test {
+namespace {
+
+using split::RangeBucket;
+
+TEST(SortBaselines, RadixSortIsAValidMultisplitForRangeBuckets) {
+  const u64 n = 50000;
+  const u32 m = 8;
+  workload::WorkloadConfig wc;
+  const auto host = workload::generate_keys(n, wc);
+  sim::Device dev;
+  sim::DeviceBuffer<u32> in(dev, std::span<const u32>(host)), out(dev, n);
+  const auto r =
+      split::radix_sort_multisplit_keys(dev, in, out, m, RangeBucket{m});
+  expect_valid_multisplit(host, buffer_to_vector(out), r.bucket_offsets, m,
+                          RangeBucket{m}, /*stable=*/false);
+  // Stronger than multisplit: fully sorted.
+  for (u64 i = 1; i < n; ++i) ASSERT_LE(out[i - 1], out[i]);
+}
+
+TEST(SortBaselines, PairVariantKeepsValuesAttached) {
+  const u64 n = 30000;
+  const u32 m = 4;
+  workload::WorkloadConfig wc;
+  wc.seed = 11;
+  const auto host = workload::generate_keys(n, wc);
+  const auto vals = workload::identity_values(n);
+  sim::Device dev;
+  sim::DeviceBuffer<u32> kin(dev, std::span<const u32>(host));
+  sim::DeviceBuffer<u32> vin(dev, std::span<const u32>(vals));
+  sim::DeviceBuffer<u32> kout(dev, n), vout(dev, n);
+  const auto r = split::radix_sort_multisplit_pairs(dev, kin, vin, kout, vout,
+                                                    m, RangeBucket{m});
+  expect_valid_multisplit(host, buffer_to_vector(kout), r.bucket_offsets, m,
+                          RangeBucket{m}, false);
+  for (u64 i = 0; i < n; ++i) ASSERT_EQ(kout[i], host[vout[i]]);
+}
+
+TEST(SortBaselines, ReducedBitsAreCheaperThanFullSort) {
+  // Sorting only log2(m) bits (identity-bucket case, Table 4's last row)
+  // must beat the full 32-bit sort by roughly the pass ratio.
+  const u64 n = 1u << 17;
+  workload::WorkloadConfig wc;
+  wc.dist = workload::Distribution::kIdentity;
+  wc.m = 8;
+  const auto host = workload::generate_keys(n, wc);
+  f64 t_full, t_3bit;
+  {
+    sim::Device dev;
+    sim::DeviceBuffer<u32> in(dev, std::span<const u32>(host)), out(dev, n);
+    split::radix_sort_multisplit_keys(dev, in, out, 8, split::IdentityBucket{},
+                                      32);
+    t_full = dev.total_ms();
+  }
+  {
+    sim::Device dev;
+    sim::DeviceBuffer<u32> in(dev, std::span<const u32>(host)), out(dev, n);
+    split::radix_sort_multisplit_keys(dev, in, out, 8, split::IdentityBucket{},
+                                      3);
+    t_3bit = dev.total_ms();
+  }
+  EXPECT_GT(t_full, 3.0 * t_3bit);
+}
+
+TEST(SortBaselines, OffsetsHandleEmptyBuckets) {
+  const u64 n = 1000;
+  std::vector<u32> host(n, 0xFFFFFFFFu);  // everything in the last bucket
+  sim::Device dev;
+  sim::DeviceBuffer<u32> in(dev, std::span<const u32>(host)), out(dev, n);
+  const auto r =
+      split::radix_sort_multisplit_keys(dev, in, out, 4, RangeBucket{4});
+  EXPECT_EQ(r.bucket_offsets, (std::vector<u32>{0, 0, 0, 0, 1000}));
+}
+
+}  // namespace
+}  // namespace ms::test

@@ -1,0 +1,182 @@
+// Algorithms 2 and 3 (ballot-based warp histogram / local offsets), the
+// merged ranking, and the m > 32 multi-bitmap extensions -- checked against
+// straightforward references over randomized inputs, including partial
+// (tail) warps.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "primitives/warp_ops.hpp"
+
+namespace ms::prim {
+namespace {
+
+using sim::Device;
+
+std::vector<u32> reference_histogram(const LaneArray<u32>& b, u32 m,
+                                     LaneMask valid) {
+  std::vector<u32> h(m, 0);
+  for_each_lane(valid, [&](u32 lane) { h[b[lane]]++; });
+  return h;
+}
+
+std::vector<u32> reference_offsets(const LaneArray<u32>& b, LaneMask valid) {
+  std::vector<u32> out(kWarpSize, 0);
+  for_each_lane(valid, [&](u32 lane) {
+    u32 r = 0;
+    for (u32 j = 0; j < lane; ++j) {
+      if (lane_active(valid, j) && b[j] == b[lane]) ++r;
+    }
+    out[lane] = r;
+  });
+  return out;
+}
+
+class WarpOpsTest : public ::testing::TestWithParam<u32> {
+ protected:
+  Device dev;
+  std::mt19937 rng{GetParam() * 7919 + 13};
+
+  template <typename F>
+  void in_warp(F&& f) {
+    sim::launch_warps(dev, "test", 1, [&](sim::Warp& w, u64) { f(w); });
+  }
+};
+
+TEST_P(WarpOpsTest, HistogramMatchesReference) {
+  const u32 m = GetParam();
+  in_warp([&](sim::Warp& w) {
+    for (int trial = 0; trial < 40; ++trial) {
+      LaneArray<u32> b;
+      for (u32 i = 0; i < kWarpSize; ++i) b[i] = rng() % m;
+      const LaneMask valid =
+          (trial % 3 == 0) ? sim::tail_mask(1 + rng() % 32) : kFullMask;
+      const auto got = warp_histogram(w, b, m, valid);
+      const auto want = reference_histogram(b, m, valid);
+      for (u32 d = 0; d < m; ++d) ASSERT_EQ(got[d], want[d]) << "bucket " << d;
+    }
+  });
+}
+
+TEST_P(WarpOpsTest, OffsetsMatchReference) {
+  const u32 m = GetParam();
+  in_warp([&](sim::Warp& w) {
+    for (int trial = 0; trial < 40; ++trial) {
+      LaneArray<u32> b;
+      for (u32 i = 0; i < kWarpSize; ++i) b[i] = rng() % m;
+      const LaneMask valid =
+          (trial % 3 == 1) ? sim::tail_mask(1 + rng() % 32) : kFullMask;
+      const auto got = warp_offsets(w, b, m, valid);
+      const auto want = reference_offsets(b, valid);
+      for_each_lane(valid,
+                    [&](u32 i) { ASSERT_EQ(got[i], want[i]) << "lane " << i; });
+    }
+  });
+}
+
+TEST_P(WarpOpsTest, MergedRankAgreesWithSeparateOps) {
+  const u32 m = GetParam();
+  in_warp([&](sim::Warp& w) {
+    for (int trial = 0; trial < 20; ++trial) {
+      LaneArray<u32> b;
+      for (u32 i = 0; i < kWarpSize; ++i) b[i] = rng() % m;
+      const LaneMask valid = sim::tail_mask(1 + rng() % 32);
+      const auto rank = warp_rank(w, b, m, valid);
+      const auto h = warp_histogram(w, b, m, valid);
+      const auto o = warp_offsets(w, b, m, valid);
+      for (u32 i = 0; i < kWarpSize; ++i) {
+        ASSERT_EQ(rank.histogram[i], h[i]);
+        ASSERT_EQ(rank.offsets[i], o[i]);
+      }
+    }
+  });
+}
+
+TEST_P(WarpOpsTest, HistogramSumsToValidCount) {
+  const u32 m = GetParam();
+  in_warp([&](sim::Warp& w) {
+    LaneArray<u32> b;
+    for (u32 i = 0; i < kWarpSize; ++i) b[i] = rng() % m;
+    const LaneMask valid = sim::tail_mask(17);
+    const auto h = warp_histogram(w, b, m, valid);
+    u32 total = 0;
+    for (u32 d = 0; d < m; ++d) total += h[d];
+    EXPECT_EQ(total, 17u);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(BucketCounts, WarpOpsTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 7u, 8u, 15u, 16u,
+                                           17u, 31u, 32u));
+
+class WarpOpsMultiTest : public ::testing::TestWithParam<u32> {
+ protected:
+  Device dev;
+  std::mt19937 rng{GetParam() * 104729 + 7};
+};
+
+TEST_P(WarpOpsMultiTest, MultiHistogramMatchesReference) {
+  const u32 m = GetParam();
+  sim::launch_warps(dev, "test", 1, [&](sim::Warp& w, u64) {
+    for (int trial = 0; trial < 20; ++trial) {
+      LaneArray<u32> b;
+      for (u32 i = 0; i < kWarpSize; ++i) b[i] = rng() % m;
+      const LaneMask valid =
+          (trial % 2 == 0) ? sim::tail_mask(1 + rng() % 32) : kFullMask;
+      const auto groups = warp_histogram_multi(w, b, m, valid);
+      const auto want = reference_histogram(b, m, valid);
+      ASSERT_EQ(groups.size(), ceil_div(m, kWarpSize));
+      for (u32 d = 0; d < m; ++d) {
+        ASSERT_EQ(groups[d / kWarpSize][d % kWarpSize], want[d])
+            << "bucket " << d;
+      }
+    }
+  });
+}
+
+TEST_P(WarpOpsMultiTest, MultiOffsetsMatchReference) {
+  const u32 m = GetParam();
+  sim::launch_warps(dev, "test", 1, [&](sim::Warp& w, u64) {
+    for (int trial = 0; trial < 20; ++trial) {
+      LaneArray<u32> b;
+      for (u32 i = 0; i < kWarpSize; ++i) b[i] = rng() % m;
+      const LaneMask valid = kFullMask;
+      const auto got = warp_offsets_multi(w, b, m, valid);
+      const auto want = reference_offsets(b, valid);
+      for (u32 i = 0; i < kWarpSize; ++i) ASSERT_EQ(got[i], want[i]);
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(LargeBucketCounts, WarpOpsMultiTest,
+                         ::testing::Values(33u, 64u, 100u, 256u, 1000u));
+
+TEST(WarpOpsCost, BallotRoundsScaleWithLogM) {
+  // The defining property of Algorithm 2: ceil(log2 m) ballots, not m.
+  Device dev;
+  dev.begin_kernel("count");
+  sim::Warp w(dev, 0);
+  const auto count_ballots = [&](u32 m) {
+    const u64 before = dev.events().issue_slots;
+    warp_histogram(w, LaneArray<u32>::filled(0), m);
+    return dev.events().issue_slots - before;
+  };
+  const u64 c2 = count_ballots(2);
+  const u64 c32 = count_ballots(32);
+  // 1 round vs 5 rounds (2 slots per round + final popc).
+  EXPECT_EQ(c2, 1 * 2 + 1);
+  EXPECT_EQ(c32, 5 * 2 + 1);
+  dev.end_kernel();
+}
+
+TEST(WarpOpsCost, RejectsOutOfRangeM) {
+  Device dev;
+  dev.begin_kernel("bad");
+  sim::Warp w(dev, 0);
+  EXPECT_THROW(warp_histogram(w, LaneArray<u32>{}, 33), std::logic_error);
+  EXPECT_THROW(warp_offsets(w, LaneArray<u32>{}, 0), std::logic_error);
+  dev.end_kernel();
+}
+
+}  // namespace
+}  // namespace ms::prim

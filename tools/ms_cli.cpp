@@ -1,0 +1,164 @@
+// ms_cli: run any multisplit method on a synthetic workload from the
+// command line and inspect timing, throughput and event counters --
+// a quick way to explore the implementation space without writing code.
+//
+//   $ ms_cli --method warp --m 8 --n 20 --dist binomial --kv
+//   $ ms_cli --method all --m 32 --device 750ti
+//   $ ms_cli --list
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "multisplit/multisplit.hpp"
+#include "multisplit/sort_baselines.hpp"
+#include "sim/cost_model.hpp"
+#include "workload/distributions.hpp"
+
+using namespace ms;
+
+namespace {
+
+const std::map<std::string, split::Method> kMethods = {
+    {"direct", split::Method::kDirect},
+    {"warp", split::Method::kWarpLevel},
+    {"block", split::Method::kBlockLevel},
+    {"scan_split", split::Method::kScanSplit},
+    {"recursive_split", split::Method::kRecursiveScanSplit},
+    {"reduced_bit", split::Method::kReducedBitSort},
+    {"randomized", split::Method::kRandomizedInsertion},
+    {"fused_sort", split::Method::kFusedBucketSort},
+};
+
+const std::map<std::string, workload::Distribution> kDists = {
+    {"uniform", workload::Distribution::kUniform},
+    {"binomial", workload::Distribution::kBinomial},
+    {"skewed", workload::Distribution::kSkewedOne},
+    {"identity", workload::Distribution::kIdentity},
+    {"sorted", workload::Distribution::kSortedUniform},
+};
+
+void usage(const char* argv0) {
+  std::printf(
+      "usage: %s [options]\n"
+      "  --method <name|all>   one of:", argv0);
+  for (const auto& [name, _] : kMethods) std::printf(" %s", name.c_str());
+  std::printf(
+      "\n"
+      "  --m <buckets>         bucket count (default 8)\n"
+      "  --n <log2 keys>       input size as a power of two (default 20)\n"
+      "  --dist <name>         uniform|binomial|skewed|identity|sorted\n"
+      "  --device <name>       k40c (default) | 750ti | sol\n"
+      "  --kv                  key-value instead of key-only\n"
+      "  --nw <warps>          warps per block (default 8)\n"
+      "  --ipt <items>         items per thread, warp methods (default 1)\n"
+      "  --seed <u64>          workload seed\n"
+      "  --list                list methods and exit\n");
+}
+
+struct Args {
+  std::string method = "block";
+  u32 m = 8;
+  u32 log2_n = 20;
+  std::string dist = "uniform";
+  std::string device = "k40c";
+  bool kv = false;
+  u32 nw = 8;
+  u32 ipt = 1;
+  u64 seed = 0xC0FFEE;
+};
+
+void run_one(const Args& a, const std::string& name, split::Method method) {
+  workload::WorkloadConfig wc;
+  wc.dist = kDists.at(a.dist);
+  wc.m = a.m;
+  wc.seed = a.seed;
+  const u64 n = u64{1} << a.log2_n;
+  const auto host = workload::generate_keys(n, wc);
+
+  sim::DeviceProfile prof = sim::DeviceProfile::tesla_k40c();
+  if (a.device == "750ti") prof = sim::DeviceProfile::gtx_750_ti();
+  if (a.device == "sol") prof = sim::DeviceProfile::speed_of_light();
+  sim::Device dev(prof);
+
+  sim::DeviceBuffer<u32> in(dev, std::span<const u32>(host)), out(dev, n);
+  split::MultisplitConfig cfg;
+  cfg.method = method;
+  cfg.warps_per_block = a.nw;
+  cfg.items_per_thread = a.ipt;
+
+  split::MultisplitResult r;
+  try {
+    if (a.kv) {
+      const auto vals = workload::identity_values(n);
+      sim::DeviceBuffer<u32> vin(dev, std::span<const u32>(vals));
+      sim::DeviceBuffer<u32> kout(dev, n), vout(dev, n);
+      r = split::multisplit_pairs(dev, in, vin, kout, vout, a.m,
+                                  split::RangeBucket{a.m}, cfg);
+    } else {
+      r = split::multisplit_keys(dev, in, out, a.m, split::RangeBucket{a.m},
+                                 cfg);
+    }
+  } catch (const std::logic_error& e) {
+    std::printf("%-16s unsupported for this configuration: %s\n", name.c_str(),
+                e.what());
+    return;
+  }
+
+  const auto& ev = r.summary.events;
+  std::printf(
+      "%-16s %9.3f ms (%6.2f Gkeys/s) | pre %7.3f scan %7.3f post %7.3f | "
+      "coalescing %4.0f%% | %llu kernels\n",
+      name.c_str(), r.total_ms(),
+      static_cast<f64>(n) / (r.total_ms() * 1e6), r.stages.prescan_ms,
+      r.stages.scan_ms, r.stages.postscan_ms,
+      100.0 * sim::coalescing_efficiency(ev, dev.profile()),
+      static_cast<unsigned long long>(r.summary.kernels));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args a;
+  for (int i = 1; i < argc; ++i) {
+    const auto next = [&] {
+      check(i + 1 < argc, "missing argument value");
+      return std::string(argv[++i]);
+    };
+    if (!std::strcmp(argv[i], "--method")) a.method = next();
+    else if (!std::strcmp(argv[i], "--m")) a.m = std::stoul(next());
+    else if (!std::strcmp(argv[i], "--n")) a.log2_n = std::stoul(next());
+    else if (!std::strcmp(argv[i], "--dist")) a.dist = next();
+    else if (!std::strcmp(argv[i], "--device")) a.device = next();
+    else if (!std::strcmp(argv[i], "--kv")) a.kv = true;
+    else if (!std::strcmp(argv[i], "--nw")) a.nw = std::stoul(next());
+    else if (!std::strcmp(argv[i], "--ipt")) a.ipt = std::stoul(next());
+    else if (!std::strcmp(argv[i], "--seed")) a.seed = std::stoull(next());
+    else if (!std::strcmp(argv[i], "--list")) {
+      for (const auto& [name, meth] : kMethods)
+        std::printf("%-16s %s\n", name.c_str(), to_string(meth).c_str());
+      return 0;
+    } else {
+      usage(argv[0]);
+      return std::strcmp(argv[i], "--help") == 0 ? 0 : 1;
+    }
+  }
+  if (!kDists.contains(a.dist)) {
+    std::printf("unknown distribution '%s'\n", a.dist.c_str());
+    return 1;
+  }
+
+  std::printf("n = 2^%u, m = %u, %s, %s, %s\n\n", a.log2_n, a.m,
+              a.dist.c_str(), a.kv ? "key-value" : "key-only",
+              a.device.c_str());
+  if (a.method == "all") {
+    for (const auto& [name, meth] : kMethods) run_one(a, name, meth);
+  } else if (kMethods.contains(a.method)) {
+    run_one(a, a.method, kMethods.at(a.method));
+  } else {
+    std::printf("unknown method '%s'\n", a.method.c_str());
+    usage(argv[0]);
+    return 1;
+  }
+  return 0;
+}
