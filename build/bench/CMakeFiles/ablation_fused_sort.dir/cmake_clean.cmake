@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_fused_sort.dir/ablation_fused_sort.cpp.o"
+  "CMakeFiles/ablation_fused_sort.dir/ablation_fused_sort.cpp.o.d"
+  "ablation_fused_sort"
+  "ablation_fused_sort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fused_sort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_randomized_insertion.dir/ablation_randomized_insertion.cpp.o"
+  "CMakeFiles/ablation_randomized_insertion.dir/ablation_randomized_insertion.cpp.o.d"
+  "ablation_randomized_insertion"
+  "ablation_randomized_insertion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_randomized_insertion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_recompute_vs_store.dir/ablation_recompute_vs_store.cpp.o"
+  "CMakeFiles/ablation_recompute_vs_store.dir/ablation_recompute_vs_store.cpp.o.d"
+  "ablation_recompute_vs_store"
+  "ablation_recompute_vs_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_recompute_vs_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

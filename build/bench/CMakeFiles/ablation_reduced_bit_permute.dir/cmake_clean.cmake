@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_reduced_bit_permute.dir/ablation_reduced_bit_permute.cpp.o"
+  "CMakeFiles/ablation_reduced_bit_permute.dir/ablation_reduced_bit_permute.cpp.o.d"
+  "ablation_reduced_bit_permute"
+  "ablation_reduced_bit_permute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_reduced_bit_permute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

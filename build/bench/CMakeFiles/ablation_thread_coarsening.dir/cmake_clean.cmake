@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_thread_coarsening.dir/ablation_thread_coarsening.cpp.o"
+  "CMakeFiles/ablation_thread_coarsening.dir/ablation_thread_coarsening.cpp.o.d"
+  "ablation_thread_coarsening"
+  "ablation_thread_coarsening.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_thread_coarsening.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_warps_per_block.dir/ablation_warps_per_block.cpp.o"
+  "CMakeFiles/ablation_warps_per_block.dir/ablation_warps_per_block.cpp.o.d"
+  "ablation_warps_per_block"
+  "ablation_warps_per_block.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_warps_per_block.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

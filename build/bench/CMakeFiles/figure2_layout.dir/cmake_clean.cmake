@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure2_layout.dir/figure2_layout.cpp.o"
+  "CMakeFiles/figure2_layout.dir/figure2_layout.cpp.o.d"
+  "figure2_layout"
+  "figure2_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure2_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure3_time_vs_buckets.dir/figure3_time_vs_buckets.cpp.o"
+  "CMakeFiles/figure3_time_vs_buckets.dir/figure3_time_vs_buckets.cpp.o.d"
+  "figure3_time_vs_buckets"
+  "figure3_time_vs_buckets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure3_time_vs_buckets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure4_many_buckets.dir/figure4_many_buckets.cpp.o"
+  "CMakeFiles/figure4_many_buckets.dir/figure4_many_buckets.cpp.o.d"
+  "figure4_many_buckets"
+  "figure4_many_buckets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure4_many_buckets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

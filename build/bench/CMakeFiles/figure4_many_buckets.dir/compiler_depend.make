@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for figure4_many_buckets.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for figure4_many_buckets.
+# This may be replaced when dependencies are built.

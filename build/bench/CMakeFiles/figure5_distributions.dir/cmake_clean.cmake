@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure5_distributions.dir/figure5_distributions.cpp.o"
+  "CMakeFiles/figure5_distributions.dir/figure5_distributions.cpp.o.d"
+  "figure5_distributions"
+  "figure5_distributions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure5_distributions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sssp_footnote1.dir/sssp_footnote1.cpp.o"
+  "CMakeFiles/sssp_footnote1.dir/sssp_footnote1.cpp.o.d"
+  "sssp_footnote1"
+  "sssp_footnote1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sssp_footnote1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

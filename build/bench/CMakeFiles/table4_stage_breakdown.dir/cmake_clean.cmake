@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_stage_breakdown.dir/table4_stage_breakdown.cpp.o"
+  "CMakeFiles/table4_stage_breakdown.dir/table4_stage_breakdown.cpp.o.d"
+  "table4_stage_breakdown"
+  "table4_stage_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_stage_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_rates.dir/table5_rates.cpp.o"
+  "CMakeFiles/table5_rates.dir/table5_rates.cpp.o.d"
+  "table5_rates"
+  "table5_rates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_rates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

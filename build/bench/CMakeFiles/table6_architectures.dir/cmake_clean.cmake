@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_architectures.dir/table6_architectures.cpp.o"
+  "CMakeFiles/table6_architectures.dir/table6_architectures.cpp.o.d"
+  "table6_architectures"
+  "table6_architectures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_architectures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hash_join_buckets.dir/hash_join_buckets.cpp.o"
+  "CMakeFiles/hash_join_buckets.dir/hash_join_buckets.cpp.o.d"
+  "hash_join_buckets"
+  "hash_join_buckets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hash_join_buckets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for hash_join_buckets.
+# This may be replaced when dependencies are built.

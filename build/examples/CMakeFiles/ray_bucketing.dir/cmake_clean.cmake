@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ray_bucketing.dir/ray_bucketing.cpp.o"
+  "CMakeFiles/ray_bucketing.dir/ray_bucketing.cpp.o.d"
+  "ray_bucketing"
+  "ray_bucketing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ray_bucketing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

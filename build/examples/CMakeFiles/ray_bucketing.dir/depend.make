@@ -1,0 +1,2 @@
+# Empty dependencies file for ray_bucketing.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spmv_row_binning.dir/spmv_row_binning.cpp.o"
+  "CMakeFiles/spmv_row_binning.dir/spmv_row_binning.cpp.o.d"
+  "spmv_row_binning"
+  "spmv_row_binning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spmv_row_binning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sssp_delta_stepping.dir/sssp_delta_stepping.cpp.o"
+  "CMakeFiles/sssp_delta_stepping.dir/sssp_delta_stepping.cpp.o.d"
+  "sssp_delta_stepping"
+  "sssp_delta_stepping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sssp_delta_stepping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

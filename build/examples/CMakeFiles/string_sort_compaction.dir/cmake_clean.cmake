@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/string_sort_compaction.dir/string_sort_compaction.cpp.o"
+  "CMakeFiles/string_sort_compaction.dir/string_sort_compaction.cpp.o.d"
+  "string_sort_compaction"
+  "string_sort_compaction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/string_sort_compaction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

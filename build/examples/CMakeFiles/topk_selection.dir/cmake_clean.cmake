@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topk_selection.dir/topk_selection.cpp.o"
+  "CMakeFiles/topk_selection.dir/topk_selection.cpp.o.d"
+  "topk_selection"
+  "topk_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topk_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

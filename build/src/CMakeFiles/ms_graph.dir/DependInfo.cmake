@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/generators.cpp" "src/CMakeFiles/ms_graph.dir/graph/generators.cpp.o" "gcc" "src/CMakeFiles/ms_graph.dir/graph/generators.cpp.o.d"
+  "/root/repo/src/graph/graph.cpp" "src/CMakeFiles/ms_graph.dir/graph/graph.cpp.o" "gcc" "src/CMakeFiles/ms_graph.dir/graph/graph.cpp.o.d"
+  "/root/repo/src/graph/sssp.cpp" "src/CMakeFiles/ms_graph.dir/graph/sssp.cpp.o" "gcc" "src/CMakeFiles/ms_graph.dir/graph/sssp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ms_multisplit.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ms_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ms_primitives.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ms_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ms_graph.dir/graph/generators.cpp.o"
+  "CMakeFiles/ms_graph.dir/graph/generators.cpp.o.d"
+  "CMakeFiles/ms_graph.dir/graph/graph.cpp.o"
+  "CMakeFiles/ms_graph.dir/graph/graph.cpp.o.d"
+  "CMakeFiles/ms_graph.dir/graph/sssp.cpp.o"
+  "CMakeFiles/ms_graph.dir/graph/sssp.cpp.o.d"
+  "libms_graph.a"
+  "libms_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ms_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

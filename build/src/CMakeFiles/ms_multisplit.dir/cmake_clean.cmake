@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ms_multisplit.dir/multisplit/multisplit.cpp.o"
+  "CMakeFiles/ms_multisplit.dir/multisplit/multisplit.cpp.o.d"
+  "libms_multisplit.a"
+  "libms_multisplit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ms_multisplit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ms_primitives.dir/primitives/radix_sort.cpp.o"
+  "CMakeFiles/ms_primitives.dir/primitives/radix_sort.cpp.o.d"
+  "libms_primitives.a"
+  "libms_primitives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ms_primitives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

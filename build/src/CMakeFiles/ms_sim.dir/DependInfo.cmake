@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cache.cpp" "src/CMakeFiles/ms_sim.dir/sim/cache.cpp.o" "gcc" "src/CMakeFiles/ms_sim.dir/sim/cache.cpp.o.d"
+  "/root/repo/src/sim/cost_model.cpp" "src/CMakeFiles/ms_sim.dir/sim/cost_model.cpp.o" "gcc" "src/CMakeFiles/ms_sim.dir/sim/cost_model.cpp.o.d"
+  "/root/repo/src/sim/device.cpp" "src/CMakeFiles/ms_sim.dir/sim/device.cpp.o" "gcc" "src/CMakeFiles/ms_sim.dir/sim/device.cpp.o.d"
+  "/root/repo/src/sim/profile.cpp" "src/CMakeFiles/ms_sim.dir/sim/profile.cpp.o" "gcc" "src/CMakeFiles/ms_sim.dir/sim/profile.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ms_sim.dir/sim/cache.cpp.o"
+  "CMakeFiles/ms_sim.dir/sim/cache.cpp.o.d"
+  "CMakeFiles/ms_sim.dir/sim/cost_model.cpp.o"
+  "CMakeFiles/ms_sim.dir/sim/cost_model.cpp.o.d"
+  "CMakeFiles/ms_sim.dir/sim/device.cpp.o"
+  "CMakeFiles/ms_sim.dir/sim/device.cpp.o.d"
+  "CMakeFiles/ms_sim.dir/sim/profile.cpp.o"
+  "CMakeFiles/ms_sim.dir/sim/profile.cpp.o.d"
+  "libms_sim.a"
+  "libms_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ms_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

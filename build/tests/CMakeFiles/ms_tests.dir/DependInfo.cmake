@@ -1,0 +1,49 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_block_ops.cpp" "tests/CMakeFiles/ms_tests.dir/test_block_ops.cpp.o" "gcc" "tests/CMakeFiles/ms_tests.dir/test_block_ops.cpp.o.d"
+  "/root/repo/tests/test_buckets.cpp" "tests/CMakeFiles/ms_tests.dir/test_buckets.cpp.o" "gcc" "tests/CMakeFiles/ms_tests.dir/test_buckets.cpp.o.d"
+  "/root/repo/tests/test_cache.cpp" "tests/CMakeFiles/ms_tests.dir/test_cache.cpp.o" "gcc" "tests/CMakeFiles/ms_tests.dir/test_cache.cpp.o.d"
+  "/root/repo/tests/test_compact.cpp" "tests/CMakeFiles/ms_tests.dir/test_compact.cpp.o" "gcc" "tests/CMakeFiles/ms_tests.dir/test_compact.cpp.o.d"
+  "/root/repo/tests/test_cost_model.cpp" "tests/CMakeFiles/ms_tests.dir/test_cost_model.cpp.o" "gcc" "tests/CMakeFiles/ms_tests.dir/test_cost_model.cpp.o.d"
+  "/root/repo/tests/test_device.cpp" "tests/CMakeFiles/ms_tests.dir/test_device.cpp.o" "gcc" "tests/CMakeFiles/ms_tests.dir/test_device.cpp.o.d"
+  "/root/repo/tests/test_distributions.cpp" "tests/CMakeFiles/ms_tests.dir/test_distributions.cpp.o" "gcc" "tests/CMakeFiles/ms_tests.dir/test_distributions.cpp.o.d"
+  "/root/repo/tests/test_graph.cpp" "tests/CMakeFiles/ms_tests.dir/test_graph.cpp.o" "gcc" "tests/CMakeFiles/ms_tests.dir/test_graph.cpp.o.d"
+  "/root/repo/tests/test_histogram.cpp" "tests/CMakeFiles/ms_tests.dir/test_histogram.cpp.o" "gcc" "tests/CMakeFiles/ms_tests.dir/test_histogram.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/ms_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/ms_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_intrinsics.cpp" "tests/CMakeFiles/ms_tests.dir/test_intrinsics.cpp.o" "gcc" "tests/CMakeFiles/ms_tests.dir/test_intrinsics.cpp.o.d"
+  "/root/repo/tests/test_lane_array.cpp" "tests/CMakeFiles/ms_tests.dir/test_lane_array.cpp.o" "gcc" "tests/CMakeFiles/ms_tests.dir/test_lane_array.cpp.o.d"
+  "/root/repo/tests/test_memory_model.cpp" "tests/CMakeFiles/ms_tests.dir/test_memory_model.cpp.o" "gcc" "tests/CMakeFiles/ms_tests.dir/test_memory_model.cpp.o.d"
+  "/root/repo/tests/test_multisplit_correctness.cpp" "tests/CMakeFiles/ms_tests.dir/test_multisplit_correctness.cpp.o" "gcc" "tests/CMakeFiles/ms_tests.dir/test_multisplit_correctness.cpp.o.d"
+  "/root/repo/tests/test_multisplit_edge_cases.cpp" "tests/CMakeFiles/ms_tests.dir/test_multisplit_edge_cases.cpp.o" "gcc" "tests/CMakeFiles/ms_tests.dir/test_multisplit_edge_cases.cpp.o.d"
+  "/root/repo/tests/test_multisplit_fuzz.cpp" "tests/CMakeFiles/ms_tests.dir/test_multisplit_fuzz.cpp.o" "gcc" "tests/CMakeFiles/ms_tests.dir/test_multisplit_fuzz.cpp.o.d"
+  "/root/repo/tests/test_multisplit_large_m.cpp" "tests/CMakeFiles/ms_tests.dir/test_multisplit_large_m.cpp.o" "gcc" "tests/CMakeFiles/ms_tests.dir/test_multisplit_large_m.cpp.o.d"
+  "/root/repo/tests/test_multisplit_u64_values.cpp" "tests/CMakeFiles/ms_tests.dir/test_multisplit_u64_values.cpp.o" "gcc" "tests/CMakeFiles/ms_tests.dir/test_multisplit_u64_values.cpp.o.d"
+  "/root/repo/tests/test_paper_shapes.cpp" "tests/CMakeFiles/ms_tests.dir/test_paper_shapes.cpp.o" "gcc" "tests/CMakeFiles/ms_tests.dir/test_paper_shapes.cpp.o.d"
+  "/root/repo/tests/test_radix_sort.cpp" "tests/CMakeFiles/ms_tests.dir/test_radix_sort.cpp.o" "gcc" "tests/CMakeFiles/ms_tests.dir/test_radix_sort.cpp.o.d"
+  "/root/repo/tests/test_randomized_insertion.cpp" "tests/CMakeFiles/ms_tests.dir/test_randomized_insertion.cpp.o" "gcc" "tests/CMakeFiles/ms_tests.dir/test_randomized_insertion.cpp.o.d"
+  "/root/repo/tests/test_scan.cpp" "tests/CMakeFiles/ms_tests.dir/test_scan.cpp.o" "gcc" "tests/CMakeFiles/ms_tests.dir/test_scan.cpp.o.d"
+  "/root/repo/tests/test_sort_baselines.cpp" "tests/CMakeFiles/ms_tests.dir/test_sort_baselines.cpp.o" "gcc" "tests/CMakeFiles/ms_tests.dir/test_sort_baselines.cpp.o.d"
+  "/root/repo/tests/test_sssp.cpp" "tests/CMakeFiles/ms_tests.dir/test_sssp.cpp.o" "gcc" "tests/CMakeFiles/ms_tests.dir/test_sssp.cpp.o.d"
+  "/root/repo/tests/test_warp_ops.cpp" "tests/CMakeFiles/ms_tests.dir/test_warp_ops.cpp.o" "gcc" "tests/CMakeFiles/ms_tests.dir/test_warp_ops.cpp.o.d"
+  "/root/repo/tests/test_warp_scan.cpp" "tests/CMakeFiles/ms_tests.dir/test_warp_scan.cpp.o" "gcc" "tests/CMakeFiles/ms_tests.dir/test_warp_scan.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ms_multisplit.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ms_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ms_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ms_primitives.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ms_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ms_cli.dir/ms_cli.cpp.o"
+  "CMakeFiles/ms_cli.dir/ms_cli.cpp.o.d"
+  "ms_cli"
+  "ms_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ms_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
