@@ -12,7 +12,10 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -27,28 +30,67 @@ struct Options {
   std::string device = "k40c";
   u32 trials = 1;
   bool full = false;
+  std::string json_path;   // --json <file>: machine-readable report
+  std::string trace_path;  // --trace <file>: Chrome trace of the first run
+  /// Set once the first run has emitted its trace (only one run per process
+  /// gets the trace -- otherwise later runs would overwrite it).
+  mutable bool trace_written = false;
 
+  /// Strict parser: unknown flags, missing values, and unknown device
+  /// names are hard errors (exit 2), not silent fallbacks.  Benches that
+  /// support machine-readable output pass `machine_readable = true` to
+  /// enable --json/--trace; elsewhere those flags are rejected with an
+  /// explanation.
   static Options parse(int argc, char** argv, u32 default_log2_n,
-                       u32 paper_log2_n) {
+                       u32 paper_log2_n, bool machine_readable = false) {
     Options o;
     o.log2_n = default_log2_n;
     o.paper_log2_n = paper_log2_n;
     for (int i = 1; i < argc; ++i) {
-      if (!std::strcmp(argv[i], "--n") && i + 1 < argc) {
-        o.log2_n = static_cast<u32>(std::atoi(argv[++i]));
+      const auto value = [&](const char* flag) -> const char* {
+        if (i + 1 >= argc) {
+          std::fprintf(stderr, "%s: missing value for %s\n", argv[0], flag);
+          std::exit(2);
+        }
+        return argv[++i];
+      };
+      if (!std::strcmp(argv[i], "--n")) {
+        o.log2_n = static_cast<u32>(std::atoi(value("--n")));
       } else if (!std::strcmp(argv[i], "--full")) {
         o.full = true;
         o.log2_n = paper_log2_n;
-      } else if (!std::strcmp(argv[i], "--device") && i + 1 < argc) {
-        o.device = argv[++i];
-      } else if (!std::strcmp(argv[i], "--trials") && i + 1 < argc) {
-        o.trials = static_cast<u32>(std::atoi(argv[++i]));
+      } else if (!std::strcmp(argv[i], "--device")) {
+        o.device = value("--device");
+        if (o.device != "k40c" && o.device != "750ti" &&
+            o.device != "gtx750ti" && o.device != "sol") {
+          std::fprintf(stderr,
+                       "%s: unknown device '%s' (expected k40c, 750ti or "
+                       "sol)\n",
+                       argv[0], o.device.c_str());
+          std::exit(2);
+        }
+      } else if (!std::strcmp(argv[i], "--trials")) {
+        o.trials = static_cast<u32>(std::atoi(value("--trials")));
+      } else if (!std::strcmp(argv[i], "--json") && machine_readable) {
+        o.json_path = value("--json");
+      } else if (!std::strcmp(argv[i], "--trace") && machine_readable) {
+        o.trace_path = value("--trace");
+      } else if (!std::strcmp(argv[i], "--json") ||
+                 !std::strcmp(argv[i], "--trace")) {
+        std::fprintf(stderr, "%s: %s is not supported by this bench\n",
+                     argv[0], argv[i]);
+        std::exit(2);
       } else if (!std::strcmp(argv[i], "--help")) {
         std::printf(
             "usage: %s [--n <log2 elements>] [--full] "
-            "[--device k40c|750ti] [--trials k]\n",
-            argv[0]);
+            "[--device k40c|750ti|sol] [--trials k]%s\n",
+            argv[0],
+            machine_readable ? " [--json <file>] [--trace <file>]" : "");
         std::exit(0);
+      } else {
+        std::fprintf(stderr, "%s: unknown flag '%s' (try --help)\n", argv[0],
+                     argv[i]);
+        std::exit(2);
       }
     }
     return o;
@@ -120,11 +162,15 @@ Measurement measure(const Options& opt, Runner&& run_once) {
   return m;
 }
 
-/// Run one multisplit (key-only or key-value) on a fresh device.
+/// Run one multisplit (key-only or key-value) on a fresh device.  When
+/// `sites_out` is given, the device's per-access-site counters are copied
+/// there; when the Options carry a --trace path, the first run in the
+/// process also writes its Chrome trace.
 inline split::MultisplitResult run_multisplit(
     const Options& opt, split::Method method, u32 m, bool key_value,
     workload::Distribution dist = workload::Distribution::kUniform,
-    u64 seed_salt = 0, u32 warps_per_block = 8) {
+    u64 seed_salt = 0, u32 warps_per_block = 8,
+    std::vector<sim::SiteStats>* sites_out = nullptr) {
   workload::WorkloadConfig wc;
   wc.dist = dist;
   wc.m = m;
@@ -136,14 +182,21 @@ inline split::MultisplitResult run_multisplit(
   split::MultisplitConfig cfg;
   cfg.method = method;
   cfg.warps_per_block = warps_per_block;
+  const auto finish = [&](split::MultisplitResult r) {
+    if (sites_out != nullptr) *sites_out = dev.site_stats();
+    if (!opt.trace_path.empty() && !opt.trace_written)
+      opt.trace_written = sim::write_chrome_trace_file(dev, opt.trace_path);
+    return r;
+  };
   if (!key_value) {
-    return split::multisplit_keys(dev, in, out, m, split::RangeBucket{m}, cfg);
+    return finish(
+        split::multisplit_keys(dev, in, out, m, split::RangeBucket{m}, cfg));
   }
   const auto vals = workload::identity_values(n);
   sim::DeviceBuffer<u32> vin(dev, std::span<const u32>(vals));
   sim::DeviceBuffer<u32> kout(dev, n), vout(dev, n);
-  return split::multisplit_pairs(dev, in, vin, kout, vout, m,
-                                 split::RangeBucket{m}, cfg);
+  return finish(split::multisplit_pairs(dev, in, vin, kout, vout, m,
+                                        split::RangeBucket{m}, cfg));
 }
 
 /// Full radix sort baseline (Table 3 / Table 6 denominator).
@@ -166,6 +219,73 @@ inline split::MultisplitResult run_radix_baseline(const Options& opt, u32 m,
   sim::DeviceBuffer<u32> kout(dev, n), vout(dev, n);
   return split::radix_sort_multisplit_pairs(dev, in, vin, kout, vout, m,
                                             split::RangeBucket{m});
+}
+
+/// RAII writer for a bench's --json report.  Opens the file, emits the
+/// shared header (bench name, device, sizes, trials), and positions the
+/// writer inside a "results" array; the bench appends one object per
+/// measurement and the destructor closes everything.
+class JsonReport {
+ public:
+  JsonReport(const Options& opt, const char* bench) {
+    if (opt.json_path.empty()) return;
+    out_.open(opt.json_path);
+    if (!out_) {
+      std::fprintf(stderr, "cannot open '%s' for writing\n",
+                   opt.json_path.c_str());
+      std::exit(2);
+    }
+    w_.emplace(out_);
+    w_->begin_object();
+    w_->field("bench", bench);
+    w_->field("device", opt.profile().name);
+    w_->field("log2_n", opt.log2_n);
+    w_->field("paper_log2_n", opt.paper_log2_n);
+    w_->field("trials", opt.trials);
+    w_->key("results").begin_array();
+  }
+  ~JsonReport() {
+    if (w_) {
+      w_->end_array().end_object();
+      out_ << "\n";
+    }
+  }
+  JsonReport(const JsonReport&) = delete;
+  JsonReport& operator=(const JsonReport&) = delete;
+
+  bool enabled() const { return w_.has_value(); }
+  sim::JsonWriter& writer() { return *w_; }
+
+ private:
+  std::ofstream out_;
+  std::optional<sim::JsonWriter> w_;
+};
+
+/// Emit the non-empty per-site counter slices as a JSON array: label, raw
+/// counters, and the derived coalescing efficiency of that site's global
+/// traffic (useful bytes / bytes moved in 32B sectors).
+inline void write_site_array(sim::JsonWriter& w,
+                             const std::vector<sim::SiteStats>& sites,
+                             const sim::DeviceProfile& prof) {
+  w.begin_array();
+  for (const auto& s : sites) {
+    if (s.events == sim::KernelEvents{}) continue;
+    const auto& e = s.events;
+    w.begin_object();
+    w.field("label", s.label);
+    w.field("issue_slots", e.issue_slots);
+    w.field("scatter_replays", e.scatter_replays);
+    w.field("smem_slots", e.smem_slots);
+    w.field("dram_read_tx", e.dram_read_tx);
+    w.field("dram_write_tx", e.dram_write_tx);
+    w.field("l2_read_segments", e.l2_read_segments);
+    w.field("l2_write_segments", e.l2_write_segments);
+    w.field("useful_bytes_read", e.useful_bytes_read);
+    w.field("useful_bytes_written", e.useful_bytes_written);
+    w.field("coalescing_pct", 100.0 * sim::coalescing_efficiency(e, prof));
+    w.end_object();
+  }
+  w.end_array();
 }
 
 inline f64 geomean(const std::vector<f64>& xs) {

@@ -17,15 +17,17 @@ struct PaperRef {
 
 // Paper Table 4 totals for the caption line (key-only / key-value at
 // m = 2, 8, 32), used purely for side-by-side display.
-void print_method_block(const Options& opt, const char* name,
-                        split::Method method, bool kv,
+void print_method_block(const Options& opt, JsonReport& report,
+                        const char* name, split::Method method, bool kv,
                         const PaperRef paper[3]) {
   static const u32 kBuckets[3] = {2, 8, 32};
   for (int i = 0; i < 3; ++i) {
     const u32 m = kBuckets[i];
+    std::vector<sim::SiteStats> sites;
     const Measurement meas = measure(opt, [&](u32 trial) {
       return run_multisplit(opt, method, m, kv,
-                            workload::Distribution::kUniform, trial);
+                            workload::Distribution::kUniform, trial,
+                            /*warps_per_block=*/8, &sites);
     });
     std::printf(
         "%-22s %-4s m=%-3u  %7.2f %7.2f %7.2f | total %7.2f   (paper "
@@ -34,15 +36,33 @@ void print_method_block(const Options& opt, const char* name,
         meas.stages.scan_ms, meas.stages.postscan_ms, meas.total_ms,
         paper[i].pre, paper[i].scan, paper[i].post,
         paper[i].pre + paper[i].scan + paper[i].post);
+    if (report.enabled()) {
+      auto& w = report.writer();
+      w.begin_object();
+      w.field("method", name);
+      w.field("m", m);
+      w.field("key_value", kv);
+      w.field("total_ms", meas.total_ms);
+      w.key("stages").begin_object();
+      w.field("prescan_ms", meas.stages.prescan_ms);
+      w.field("scan_ms", meas.stages.scan_ms);
+      w.field("postscan_ms", meas.stages.postscan_ms);
+      w.end_object();
+      w.key("sites");
+      write_site_array(w, sites, opt.profile());
+      w.end_object();
+    }
   }
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const Options opt = Options::parse(argc, argv, /*default=*/20, /*paper=*/25);
+  const Options opt = Options::parse(argc, argv, /*default=*/20, /*paper=*/25,
+                                     /*machine_readable=*/true);
   opt.print_header(
       "Table 4: stage breakdown (pre-scan | scan | post-scan), ms");
+  JsonReport report(opt, "table4_stage_breakdown");
 
   // Paper reference values: {pre, scan, post} per m in {2, 8, 32}.
   const PaperRef direct_key[3] = {{1.32, 0.12, 2.31}, {1.49, 0.39, 2.98}, {2.19, 1.48, 4.92}};
@@ -56,20 +76,20 @@ int main(int argc, char** argv) {
   const PaperRef rss_key[3] = {{1.54, 1.47, 2.54}, {4.62, 4.41, 7.62}, {7.70, 7.35, 12.7}};
   const PaperRef rss_kv[3] = {{1.54, 1.47, 3.95}, {4.62, 4.41, 11.85}, {7.70, 7.35, 19.75}};
 
-  print_method_block(opt, "Direct MS", split::Method::kDirect, false, direct_key);
-  print_method_block(opt, "Direct MS", split::Method::kDirect, true, direct_kv);
-  print_method_block(opt, "Warp-level MS", split::Method::kWarpLevel, false, warp_key);
-  print_method_block(opt, "Warp-level MS", split::Method::kWarpLevel, true, warp_kv);
-  print_method_block(opt, "Block-level MS", split::Method::kBlockLevel, false, block_key);
-  print_method_block(opt, "Block-level MS", split::Method::kBlockLevel, true, block_kv);
+  print_method_block(opt, report, "Direct MS", split::Method::kDirect, false, direct_key);
+  print_method_block(opt, report, "Direct MS", split::Method::kDirect, true, direct_kv);
+  print_method_block(opt, report, "Warp-level MS", split::Method::kWarpLevel, false, warp_key);
+  print_method_block(opt, report, "Warp-level MS", split::Method::kWarpLevel, true, warp_kv);
+  print_method_block(opt, report, "Block-level MS", split::Method::kBlockLevel, false, block_key);
+  print_method_block(opt, report, "Block-level MS", split::Method::kBlockLevel, true, block_kv);
   std::printf("\n(stages below: labeling | sorting | (un)packing)\n");
-  print_method_block(opt, "Reduced-bit sort", split::Method::kReducedBitSort, false, rbs_key);
-  print_method_block(opt, "Reduced-bit sort", split::Method::kReducedBitSort, true, rbs_kv);
+  print_method_block(opt, report, "Reduced-bit sort", split::Method::kReducedBitSort, false, rbs_key);
+  print_method_block(opt, report, "Reduced-bit sort", split::Method::kReducedBitSort, true, rbs_kv);
   std::printf("\n(stages below: labeling | scan | splitting; paper reports\n"
               " log2(m) x single-split as an ideal lower bound -- we run the\n"
               " real recursion)\n");
-  print_method_block(opt, "Recursive scan split", split::Method::kRecursiveScanSplit, false, rss_key);
-  print_method_block(opt, "Recursive scan split", split::Method::kRecursiveScanSplit, true, rss_kv);
+  print_method_block(opt, report, "Recursive scan split", split::Method::kRecursiveScanSplit, false, rss_key);
+  print_method_block(opt, report, "Recursive scan split", split::Method::kRecursiveScanSplit, true, rss_kv);
 
   // Last row: radix sort on the trivial identity-buckets case, key-only
   // sorts ceil(log2 m) bits (paper: 2.62 / 2.68 / 4.20 key, 5.01/5.22/6.60 kv).

@@ -8,8 +8,10 @@ using namespace ms;
 using namespace ms::bench;
 
 int main(int argc, char** argv) {
-  const Options opt = Options::parse(argc, argv, /*default=*/20, /*paper=*/25);
+  const Options opt = Options::parse(argc, argv, /*default=*/20, /*paper=*/25,
+                                     /*machine_readable=*/true);
   opt.print_header("Table 5: processing rate, G keys/s");
+  JsonReport report(opt, "table5_rates");
 
   const sim::DeviceProfile prof = opt.profile();
   const f64 sol_key = prof.mem_bandwidth_gbps / (3.0 * 4.0);
@@ -45,11 +47,30 @@ int main(int argc, char** argv) {
     for (const auto& row : methods) {
       std::printf("%-18s ", row.name);
       for (const u32 m : buckets) {
+        std::vector<sim::SiteStats> sites;
         const Measurement meas = measure(opt, [&](u32 trial) {
           return run_multisplit(opt, row.method, m, kv != 0,
-                                workload::Distribution::kUniform, trial);
+                                workload::Distribution::kUniform, trial,
+                                /*warps_per_block=*/8, &sites);
         });
         std::printf("%6.2f", meas.rate_gkeys);
+        if (report.enabled()) {
+          auto& w = report.writer();
+          w.begin_object();
+          w.field("method", row.name);
+          w.field("m", m);
+          w.field("key_value", kv != 0);
+          w.field("rate_gkeys", meas.rate_gkeys);
+          w.field("total_ms", meas.total_ms);
+          w.key("stages").begin_object();
+          w.field("prescan_ms", meas.stages.prescan_ms);
+          w.field("scan_ms", meas.stages.scan_ms);
+          w.field("postscan_ms", meas.stages.postscan_ms);
+          w.end_object();
+          w.key("sites");
+          write_site_array(w, sites, prof);
+          w.end_object();
+        }
       }
       std::printf("   |");
       for (int i = 0; i < 5; ++i)

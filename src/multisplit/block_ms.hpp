@@ -55,8 +55,11 @@ MultisplitResult block_ms(Device& dev, const DeviceBuffer<u32>& keys_in,
   DeviceBuffer<u32> h(dev, static_cast<u64>(m) * L);
   DeviceBuffer<u32> g(dev, static_cast<u64>(m) * L);
 
+  const sim::SiteId prescan_load_site = dev.site_id("block_ms/prescan_load");
+  const sim::SiteId scatter_site = dev.site_id("block_ms/postscan_scatter");
+
   MultisplitResult result;
-  const u64 t0 = dev.mark();
+  sim::ProfileRegion prescan_region(dev, "block_ms/prescan");
 
   // Element index of warp wi's round r lane base within block b.
   const auto strip_base = [&](u64 b, u32 wi, u32 r) {
@@ -74,7 +77,10 @@ MultisplitResult block_ms(Device& dev, const DeviceBuffer<u32>& keys_in,
           const u64 base = strip_base(blk.block_id(), wi, r);
           const LaneMask mask = prim::detail::row_mask(base, n);
           if (mask == 0) break;
-          const auto keys = w.load(keys_in, base, mask);
+          const auto keys = [&] {
+            sim::ScopedSite site(dev, prescan_load_site);
+            return w.load(keys_in, base, mask);
+          }();
           w.charge(kBucketCost);
           const auto buckets = keys.map(bucket_of);
           acc = prim::lane_add(w, acc,
@@ -103,7 +109,10 @@ MultisplitResult block_ms(Device& dev, const DeviceBuffer<u32>& keys_in,
         const LaneMask mask = prim::detail::row_mask(base, n);
         std::vector<LaneArray<u32>> histo(groups);
         if (mask != 0) {
-          const auto keys = w.load(keys_in, base, mask);
+          const auto keys = [&] {
+            sim::ScopedSite site(dev, prescan_load_site);
+            return w.load(keys_in, base, mask);
+          }();
           w.charge(kBucketCost);
           const auto buckets = keys.map(bucket_of);
           histo = prim::warp_histogram_multi(w, buckets, m, mask);
@@ -139,11 +148,13 @@ MultisplitResult block_ms(Device& dev, const DeviceBuffer<u32>& keys_in,
       });
     }
   });
-  const u64 t1 = dev.mark();
+  const sim::TimingSummary prescan_sum = prescan_region.end();
 
   // ---------------- scan ----------------
+  sim::ProfileRegion scan_region(dev, "block_ms/scan");
   prim::exclusive_scan<u32>(dev, h, g);
-  const u64 t2 = dev.mark();
+  const sim::TimingSummary scan_sum = scan_region.end();
+  sim::ProfileRegion postscan_region(dev, "block_ms/postscan");
 
   // ---------------- post-scan ----------------
   sim::launch_blocks(dev, "block_ms_postscan", nblocks, nw, [&](Block& blk) {
@@ -323,22 +334,27 @@ MultisplitResult block_ms(Device& dev, const DeviceBuffer<u32>& keys_in,
         LaneArray<u64> fin{};
         for (u32 lane = 0; lane < kWarpSize; ++lane)
           fin[lane] = static_cast<u64>(gb[lane]) + t + lane;
-        w.scatter(keys_out, fin, keys2, mask);
+        {
+          sim::ScopedSite site(dev, scatter_site);
+          w.scatter(keys_out, fin, keys2, mask);
+        }
         if (vals_in != nullptr) {
           const auto vals2 =
               w.smem_read(st_vals, LaneArray<u32>::iota(t), mask);
+          sim::ScopedSite site(dev, scatter_site);
           w.scatter(*vals_out, fin, vals2, mask);
         }
       }
     });
   });
 
-  result.stages.prescan_ms =
-      dev.summary_since(t0).total_ms - dev.summary_since(t1).total_ms;
-  result.stages.scan_ms =
-      dev.summary_since(t1).total_ms - dev.summary_since(t2).total_ms;
-  result.stages.postscan_ms = dev.summary_since(t2).total_ms;
-  result.summary = dev.summary_since(t0);
+  const sim::TimingSummary postscan_sum = postscan_region.end();
+  result.stages.prescan_ms = prescan_sum.total_ms;
+  result.stages.scan_ms = scan_sum.total_ms;
+  result.stages.postscan_ms = postscan_sum.total_ms;
+  result.summary = prescan_sum;
+  result.summary += scan_sum;
+  result.summary += postscan_sum;
   offsets_from_scanned(g, m, L, n, result.bucket_offsets);
   return result;
 }

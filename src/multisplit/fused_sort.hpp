@@ -41,7 +41,7 @@ MultisplitResult fused_bucket_sort_ms(Device& dev,
   const u32 passes = static_cast<u32>(ceil_div(bits, rc.bits_per_pass));
 
   MultisplitResult result;
-  const u64 t0 = dev.mark();
+  sim::ProfileRegion sort_region(dev, "fused_sort/sorting");
 
   DeviceBuffer<u32> tmp_keys(dev, n);
   std::optional<DeviceBuffer<V>> tmp_vals;
@@ -70,8 +70,8 @@ MultisplitResult fused_bucket_sort_ms(Device& dev,
   }
   check(src_k == &keys_out, "fused_bucket_sort: ping-pong ended wrong");
 
-  result.stages.scan_ms = dev.summary_since(t0).total_ms;  // one stage: sort
-  result.summary = dev.summary_since(t0);
+  result.summary = sort_region.end();
+  result.stages.scan_ms = result.summary.total_ms;  // one stage: sort
 
   // Bucket offsets from the sorted-by-bucket output (host-side).
   result.bucket_offsets.assign(m + 1, static_cast<u32>(n));

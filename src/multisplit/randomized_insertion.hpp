@@ -53,8 +53,9 @@ MultisplitResult randomized_insertion_ms(Device& dev,
   constexpr u32 kBucketCost = bucket_charge_cost<BucketFn>;
 
   MultisplitResult result;
-  const u64 t0 = dev.mark();
+  const sim::SiteId flush_site = dev.site_id("randomized/flush_scatter");
 
+  sim::ProfileRegion hist_region(dev, "randomized/histogram");
   // ---- stage 1: global histogram to size the relaxed buffers ----------
   DeviceBuffer<u32> hist(dev, m);
   prim::histogram_block_local(dev, keys_in, hist, m, bucket_of,
@@ -89,8 +90,9 @@ MultisplitResult randomized_insertion_ms(Device& dev,
   DeviceBuffer<u32> cursor(dev, m);
   sim::device_fill<u32>(dev, staged_flags, 0);
   sim::device_fill<u32>(dev, cursor, 0);
-  const u64 t1 = dev.mark();
+  const sim::TimingSummary hist_sum = hist_region.end();
 
+  sim::ProfileRegion insert_region(dev, "randomized/insertion");
   // ---- stage 2: dart throwing into shared buffers, flush on pressure ---
   sim::launch_blocks(dev, "randomized_insertion", nblocks, nw, [&](Block& blk) {
     auto sm_keys = blk.shared<u32>(cap_total);
@@ -125,9 +127,12 @@ MultisplitResult randomized_insertion_ms(Device& dev,
         LaneArray<u64> idx{};
         for (u32 lane = 0; lane < kWarpSize; ++lane)
           idx[lane] = dst0 + off + lane;
-        w.scatter(staged_keys, idx, k, mask);
         const auto flag = occ.map([](u32 o) { return o != 0 ? 1u : 0u; });
-        w.scatter(staged_flags, idx, flag, mask);
+        {
+          sim::ScopedSite site(dev, flush_site);
+          w.scatter(staged_keys, idx, k, mask);
+          w.scatter(staged_flags, idx, flag, mask);
+        }
         w.smem_write(sm_occ, sidx, LaneArray<u32>{}, mask);
       }
     };
@@ -195,21 +200,21 @@ MultisplitResult randomized_insertion_ms(Device& dev,
       for (u32 d = w.warp_in_block(); d < m; d += nw) flush_bucket(w, d);
     });
   });
-  const u64 t2 = dev.mark();
+  const sim::TimingSummary insert_sum = insert_region.end();
 
   // ---- stage 3: compact the empty slots out ----------------------------
+  sim::ProfileRegion compact_region(dev, "randomized/compaction");
   const u64 kept =
       prim::compact_by_flags<u32>(dev, staged_keys, staged_flags, keys_out);
   check(kept == n, "randomized_insertion: lost elements");
-  const u64 t3 = dev.mark();
-  (void)t3;
+  const sim::TimingSummary compact_sum = compact_region.end();
 
-  result.stages.prescan_ms =
-      dev.summary_since(t0).total_ms - dev.summary_since(t1).total_ms;
-  result.stages.scan_ms =
-      dev.summary_since(t1).total_ms - dev.summary_since(t2).total_ms;
-  result.stages.postscan_ms = dev.summary_since(t2).total_ms;
-  result.summary = dev.summary_since(t0);
+  result.stages.prescan_ms = hist_sum.total_ms;
+  result.stages.scan_ms = insert_sum.total_ms;
+  result.stages.postscan_ms = compact_sum.total_ms;
+  result.summary = hist_sum;
+  result.summary += insert_sum;
+  result.summary += compact_sum;
 
   result.bucket_offsets.assign(m + 1, 0);
   for (u32 d = 0; d < m; ++d)

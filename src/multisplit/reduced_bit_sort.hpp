@@ -37,7 +37,7 @@ MultisplitResult reduced_bit_sort_ms(Device& dev,
   MultisplitResult result;
   DeviceBuffer<u32> labels(dev, n);
 
-  const u64 t0 = dev.mark();
+  sim::ProfileRegion label_region(dev, "reduced_bit/labeling");
   // ---- labeling: one pass producing the label vector ------------------
   sim::launch_warps(dev, "rbs_labeling", ceil_div(n, kWarpSize),
                     [&](Warp& w, u64 wid) {
@@ -52,13 +52,14 @@ MultisplitResult reduced_bit_sort_ms(Device& dev,
   if (vals_in == nullptr) {
     // Key-only: the keys ride along as the sort's values.
     sim::device_copy(dev, keys_out, keys_in);
-    const u64 t1 = dev.mark();
+    const sim::TimingSummary label_sum = label_region.end();
+    sim::ProfileRegion sort_region(dev, "reduced_bit/sorting");
     prim::sort_pairs<u32>(dev, labels, keys_out, 0, bits);
-    const u64 t2 = dev.mark();
-    result.stages.prescan_ms =
-        dev.summary_since(t0).total_ms - dev.summary_since(t1).total_ms;
-    result.stages.scan_ms =
-        dev.summary_since(t1).total_ms - dev.summary_since(t2).total_ms;
+    const sim::TimingSummary sort_sum = sort_region.end();
+    result.stages.prescan_ms = label_sum.total_ms;
+    result.stages.scan_ms = sort_sum.total_ms;
+    result.summary = label_sum;
+    result.summary += sort_sum;
   } else if constexpr (sizeof(V) == 8) {
     // 64-bit payloads cannot be packed next to the key; fall back to the
     // (label, index) sort + permutation variant the paper describes (and
@@ -73,9 +74,11 @@ MultisplitResult reduced_bit_sort_ms(Device& dev,
         idx[lane] = static_cast<u32>(base + lane);
       w.store(index, base, idx, mask);
     });
-    const u64 t1 = dev.mark();
+    const sim::TimingSummary label_sum = label_region.end();
+    sim::ProfileRegion sort_region(dev, "reduced_bit/sorting");
     prim::sort_pairs<u32>(dev, labels, index, 0, bits);
-    const u64 t2 = dev.mark();
+    const sim::TimingSummary sort_sum = sort_region.end();
+    sim::ProfileRegion permute_region(dev, "reduced_bit/permuting");
     sim::launch_warps(dev, "rbs_permute", ceil_div(n, kWarpSize),
                       [&](Warp& w, u64 wid) {
       const u64 base = wid * kWarpSize;
@@ -86,13 +89,13 @@ MultisplitResult reduced_bit_sort_ms(Device& dev,
       w.store(keys_out, base, w.gather(keys_in, idx, mask), mask);
       w.store(*vals_out, base, w.gather(*vals_in, idx, mask), mask);
     });
-    const u64 t3 = dev.mark();
-    result.stages.prescan_ms =
-        dev.summary_since(t0).total_ms - dev.summary_since(t1).total_ms;
-    result.stages.scan_ms =
-        dev.summary_since(t1).total_ms - dev.summary_since(t2).total_ms;
-    result.stages.postscan_ms = dev.summary_since(t2).total_ms;
-    (void)t3;
+    const sim::TimingSummary permute_sum = permute_region.end();
+    result.stages.prescan_ms = label_sum.total_ms;
+    result.stages.scan_ms = sort_sum.total_ms;
+    result.stages.postscan_ms = permute_sum.total_ms;
+    result.summary = label_sum;
+    result.summary += sort_sum;
+    result.summary += permute_sum;
   } else {
     // Key-value: pack (key, value) into u64, sort, unpack.
     DeviceBuffer<u64> packed(dev, n);
@@ -108,9 +111,11 @@ MultisplitResult reduced_bit_sort_ms(Device& dev,
       });
       w.store(packed, base, pk, mask);
     });
-    const u64 t1 = dev.mark();
+    const sim::TimingSummary label_sum = label_region.end();
+    sim::ProfileRegion sort_region(dev, "reduced_bit/sorting");
     prim::sort_pairs<u64>(dev, labels, packed, 0, bits);
-    const u64 t2 = dev.mark();
+    const sim::TimingSummary sort_sum = sort_region.end();
+    sim::ProfileRegion unpack_region(dev, "reduced_bit/unpacking");
     sim::launch_warps(dev, "rbs_unpack", ceil_div(n, kWarpSize),
                       [&](Warp& w, u64 wid) {
       const u64 base = wid * kWarpSize;
@@ -122,16 +127,15 @@ MultisplitResult reduced_bit_sort_ms(Device& dev,
       w.store(keys_out, base, keys, mask);
       w.store(*vals_out, base, vals, mask);
     });
-    const u64 t3 = dev.mark();
-    result.stages.prescan_ms =
-        dev.summary_since(t0).total_ms - dev.summary_since(t1).total_ms;
-    result.stages.scan_ms =
-        dev.summary_since(t1).total_ms - dev.summary_since(t2).total_ms;
-    result.stages.postscan_ms = dev.summary_since(t2).total_ms;
-    (void)t3;
+    const sim::TimingSummary unpack_sum = unpack_region.end();
+    result.stages.prescan_ms = label_sum.total_ms;
+    result.stages.scan_ms = sort_sum.total_ms;
+    result.stages.postscan_ms = unpack_sum.total_ms;
+    result.summary = label_sum;
+    result.summary += sort_sum;
+    result.summary += unpack_sum;
   }
 
-  result.summary = dev.summary_since(t0);
   // Bucket offsets from the sorted label vector (host-side, uncharged).
   result.bucket_offsets.assign(m + 1, static_cast<u32>(n));
   result.bucket_offsets[0] = 0;

@@ -25,12 +25,13 @@ template <typename BitFn, typename V = u32>
 void split_round(Device& dev, const DeviceBuffer<u32>& keys_in,
                  DeviceBuffer<u32>& keys_out, const DeviceBuffer<V>* vals_in,
                  DeviceBuffer<V>* vals_out, BitFn bit_of,
-                 StageTimings& stages) {
+                 StageTimings& stages, sim::TimingSummary& summary) {
   const u64 n = keys_in.size();
   DeviceBuffer<u32> flags(dev, n);
   DeviceBuffer<u32> scanned(dev, n);
+  const sim::SiteId scatter_site = dev.site_id("scan_split/scatter");
 
-  const u64 t0 = dev.mark();
+  sim::ProfileRegion label_region(dev, "scan_split/labeling");
   sim::launch_warps(dev, "split_labeling", ceil_div(n, kWarpSize),
                     [&](Warp& w, u64 wid) {
     const u64 base = wid * kWarpSize;
@@ -40,14 +41,16 @@ void split_round(Device& dev, const DeviceBuffer<u32>& keys_in,
     const auto f = keys.map([&](u32 k) { return bit_of(k); });
     w.store(flags, base, f, mask);
   });
-  const u64 t1 = dev.mark();
+  const sim::TimingSummary label_sum = label_region.end();
 
+  sim::ProfileRegion scan_region(dev, "scan_split/scan");
   prim::exclusive_scan<u32>(dev, flags, scanned);
-  const u64 t2 = dev.mark();
+  const sim::TimingSummary scan_sum = scan_region.end();
 
   const u64 total1 = scanned[n - 1] + flags[n - 1];
   const u64 total0 = n - total1;
 
+  sim::ProfileRegion scatter_region(dev, "scan_split/splitting");
   sim::launch_warps(dev, "split_scatter", ceil_div(n, kWarpSize),
                     [&](Warp& w, u64 wid) {
     const u64 base = wid * kWarpSize;
@@ -61,20 +64,24 @@ void split_round(Device& dev, const DeviceBuffer<u32>& keys_in,
       const u64 i = base + lane;
       pos[lane] = f[lane] ? (total0 + s[lane]) : (i - s[lane]);
     }
-    w.scatter(keys_out, pos, keys, mask);
+    {
+      sim::ScopedSite site(dev, scatter_site);
+      w.scatter(keys_out, pos, keys, mask);
+    }
     if (vals_in != nullptr) {
       const auto vals = w.load(*vals_in, base, mask);
+      sim::ScopedSite site(dev, scatter_site);
       w.scatter(*vals_out, pos, vals, mask);
     }
   });
-  const u64 t3 = dev.mark();
+  const sim::TimingSummary scatter_sum = scatter_region.end();
 
-  stages.prescan_ms +=
-      dev.summary_since(t0).total_ms - dev.summary_since(t1).total_ms;
-  stages.scan_ms +=
-      dev.summary_since(t1).total_ms - dev.summary_since(t2).total_ms;
-  stages.postscan_ms += dev.summary_since(t2).total_ms;
-  (void)t3;
+  stages.prescan_ms += label_sum.total_ms;
+  stages.scan_ms += scan_sum.total_ms;
+  stages.postscan_ms += scatter_sum.total_ms;
+  summary += label_sum;
+  summary += scan_sum;
+  summary += scatter_sum;
 }
 
 /// Recursive scan-based split: ceil(log2 m) stable binary-split rounds over
@@ -92,7 +99,6 @@ MultisplitResult scan_split_ms(Device& dev, const DeviceBuffer<u32>& keys_in,
   const u32 rounds = std::max<u32>(1, ceil_log2(m));
 
   MultisplitResult result;
-  const u64 t0 = dev.mark();
 
   DeviceBuffer<u32> tmp_keys(dev, rounds > 1 ? n : 0);
   std::optional<DeviceBuffer<V>> tmp_vals;
@@ -108,13 +114,12 @@ MultisplitResult scan_split_ms(Device& dev, const DeviceBuffer<u32>& keys_in,
         vals_in != nullptr ? (to_out ? vals_out : &*tmp_vals) : nullptr;
     split_round(
         dev, *src_k, *dst_k, src_v, dst_v,
-        [&](u32 k) { return (bucket_of(k) >> r) & 1u; }, result.stages);
+        [&](u32 k) { return (bucket_of(k) >> r) & 1u; }, result.stages,
+        result.summary);
     src_k = dst_k;
     src_v = dst_v;
   }
   check(src_k == &keys_out, "scan_split: ping-pong ended in wrong buffer");
-
-  result.summary = dev.summary_since(t0);
   // Bucket offsets: derived host-side from the (already split) output;
   // uncharged verification convenience, as the split rounds themselves
   // never materialize a histogram.

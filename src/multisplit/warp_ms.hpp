@@ -81,8 +81,15 @@ MultisplitResult warp_granularity_ms(Device& dev,
   DeviceBuffer<u32> h(dev, static_cast<u64>(m) * L);
   DeviceBuffer<u32> g(dev, static_cast<u64>(m) * L);
 
+  // nvprof-style access sites: registered once, charged per scope below.
+  const char* tag = kReorder ? "warp_ms" : "direct_ms";
+  const sim::SiteId prescan_load_site =
+      dev.site_id(std::string(tag) + "/prescan_load");
+  const sim::SiteId scatter_site =
+      dev.site_id(std::string(tag) + "/postscan_scatter");
+
   MultisplitResult result;
-  const u64 t0 = dev.mark();
+  sim::ProfileRegion prescan_region(dev, std::string(tag) + "/prescan");
 
   // ---------------- pre-scan ----------------
   // Per-warp histograms are staged in shared memory and written to H one
@@ -103,7 +110,10 @@ MultisplitResult warp_granularity_ms(Device& dev,
         const u64 base = s * tile_w + static_cast<u64>(r) * kWarpSize;
         const LaneMask mask = prim::detail::row_mask(base, n);
         if (mask == 0) break;
-        const auto keys = w.load(keys_in, base, mask);
+        const auto keys = [&] {
+          sim::ScopedSite site(dev, prescan_load_site);
+          return w.load(keys_in, base, mask);
+        }();
         w.charge(kBucketCost);
         const auto buckets = keys.map(bucket_of);
         if (small_m) {
@@ -144,11 +154,13 @@ MultisplitResult warp_granularity_ms(Device& dev,
       }
     });
   });
-  const u64 t1 = dev.mark();
+  const sim::TimingSummary prescan_sum = prescan_region.end();
 
   // ---------------- scan ----------------
+  sim::ProfileRegion scan_region(dev, std::string(tag) + "/scan");
   prim::exclusive_scan<u32>(dev, h, g);
-  const u64 t2 = dev.mark();
+  const sim::TimingSummary scan_sum = scan_region.end();
+  sim::ProfileRegion postscan_region(dev, std::string(tag) + "/postscan");
 
   // ---------------- post-scan ----------------
   sim::launch_blocks(dev, kReorder ? "warp_ms_postscan" : "direct_ms_postscan",
@@ -243,9 +255,13 @@ MultisplitResult warp_granularity_ms(Device& dev,
             for (u32 lane = 0; lane < kWarpSize; ++lane)
               fin[lane] = static_cast<u64>(my_g[lane]) + prev_rounds[lane] +
                           offsets[lane];
-            w.scatter(keys_out, fin, keys, mask);
+            {
+              sim::ScopedSite site(dev, scatter_site);
+              w.scatter(keys_out, fin, keys, mask);
+            }
             if (vals_in != nullptr) {
               const auto vals = w.load(*vals_in, base, mask);
+              sim::ScopedSite site(dev, scatter_site);
               w.scatter(*vals_out, fin, vals, mask);
             }
             continue;
@@ -275,9 +291,13 @@ MultisplitResult warp_granularity_ms(Device& dev,
           for (u32 lane = 0; lane < kWarpSize; ++lane)
             fin[lane] = static_cast<u64>(my_g[lane]) + prev_rounds[lane] +
                         offsets[lane];
-          w.scatter(keys_out, fin, keys, mask);
+          {
+            sim::ScopedSite site(dev, scatter_site);
+            w.scatter(keys_out, fin, keys, mask);
+          }
           if (vals_in != nullptr) {
             const auto vals = w.load(*vals_in, base, mask);
+            sim::ScopedSite site(dev, scatter_site);
             w.scatter(*vals_out, fin, vals, mask);
           }
           acc = prim::lane_add(w, acc, histo);
@@ -333,10 +353,14 @@ MultisplitResult warp_granularity_ms(Device& dev,
           for (u32 lane = 0; lane < kWarpSize; ++lane)
             fin[lane] = static_cast<u64>(my_g[lane]) +
                         (t + lane - start2[lane]);
-          w.scatter(keys_out, fin, keys2, mask2);
+          {
+            sim::ScopedSite site(dev, scatter_site);
+            w.scatter(keys_out, fin, keys2, mask2);
+          }
           if (vals_in != nullptr) {
             const auto vals2 =
                 w.smem_read(st_vals, LaneArray<u32>::iota(slot0 + t), mask2);
+            sim::ScopedSite site(dev, scatter_site);
             w.scatter(*vals_out, fin, vals2, mask2);
           }
         }
@@ -344,12 +368,13 @@ MultisplitResult warp_granularity_ms(Device& dev,
     });
   });
 
-  result.stages.prescan_ms =
-      dev.summary_since(t0).total_ms - dev.summary_since(t1).total_ms;
-  result.stages.scan_ms =
-      dev.summary_since(t1).total_ms - dev.summary_since(t2).total_ms;
-  result.stages.postscan_ms = dev.summary_since(t2).total_ms;
-  result.summary = dev.summary_since(t0);
+  const sim::TimingSummary postscan_sum = postscan_region.end();
+  result.stages.prescan_ms = prescan_sum.total_ms;
+  result.stages.scan_ms = scan_sum.total_ms;
+  result.stages.postscan_ms = postscan_sum.total_ms;
+  result.summary = prescan_sum;
+  result.summary += scan_sum;
+  result.summary += postscan_sum;
   offsets_from_scanned(g, m, L, n, result.bucket_offsets);
   return result;
 }

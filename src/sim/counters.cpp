@@ -1,0 +1,30 @@
+#include "sim/counters.hpp"
+
+#include "sim/device.hpp"
+
+namespace ms::sim {
+
+ScopedSite::ScopedSite(Device& dev, SiteId site)
+    : dev_(&dev), prev_(dev.set_site(site)) {}
+
+ScopedSite::ScopedSite(Device& dev, std::string_view label)
+    : ScopedSite(dev, dev.site_id(label)) {}
+
+ScopedSite::~ScopedSite() { dev_->set_site(prev_); }
+
+ProfileRegion::ProfileRegion(Device& dev, std::string name)
+    : dev_(&dev), name_(std::move(name)), begin_(dev.mark()) {}
+
+ProfileRegion::~ProfileRegion() {
+  if (!ended_) end();
+}
+
+TimingSummary ProfileRegion::end() {
+  if (ended_) return final_;
+  ended_ = true;
+  final_ = dev_->summary_since(begin_);
+  dev_->add_region(RegionRecord{name_, begin_, dev_->mark()});
+  return final_;
+}
+
+}  // namespace ms::sim

@@ -1,0 +1,91 @@
+// Per-access-site counters and scoped stage profiling -- the simulator's
+// equivalent of `nvprof --metrics` source correlation.
+//
+// A *site* is a registered label for a region of kernel code ("who issued
+// this traffic"), e.g. "warp_ms/postscan_scatter".  While a ScopedSite is
+// alive, every counter increment -- sectors, useful bytes, scatter replays,
+// bank-conflict slots, atomics -- is attributed to that site as well as to
+// the kernel totals.  Attribution is delta-based: the device snapshots the
+// running KernelEvents at every site transition and charges the difference
+// to the outgoing site, so the per-site slices *partition* the kernel's
+// totals exactly (anything outside an explicit scope lands on the reserved
+// site 0, "other"; end-of-kernel L2 writeback lands on "sim/l2_writeback").
+//
+// A *ProfileRegion* is the scoped replacement for the manual
+// `mark()`/`summary_since()` idiom: it brackets a sequence of kernel
+// launches, returns their TimingSummary from end(), and records the span on
+// the device so trace export (trace.hpp) can draw stage bands.
+#pragma once
+
+#include <string>
+
+#include "sim/events.hpp"
+#include "sim/types.hpp"
+
+namespace ms::sim {
+
+class Device;
+
+/// Index into the device's site table.  Site 0 is always "other".
+using SiteId = u32;
+inline constexpr SiteId kSiteOther = 0;
+
+/// Accumulated counters of one registered access site.
+struct SiteStats {
+  std::string label;
+  KernelEvents events;
+};
+
+/// A closed ProfileRegion: [first_kernel, end_kernel) indexes into
+/// Device::records().
+struct RegionRecord {
+  std::string name;
+  u64 first_kernel = 0;
+  u64 end_kernel = 0;
+};
+
+/// RAII site scope.  Construction switches the device's current attribution
+/// site; destruction restores the previous one.  Scopes nest (the inner
+/// site takes over for its lifetime only).  Cheap enough for per-round use
+/// inside kernels: a transition costs one KernelEvents snapshot.
+class ScopedSite {
+ public:
+  ScopedSite(Device& dev, SiteId site);
+  ScopedSite(Device& dev, std::string_view label);
+  ~ScopedSite();
+
+  ScopedSite(const ScopedSite&) = delete;
+  ScopedSite& operator=(const ScopedSite&) = delete;
+
+ private:
+  Device* dev_;
+  SiteId prev_;
+};
+
+/// RAII stage timer over whole kernel launches.  end() closes the region,
+/// records it on the device (for the trace's stage track) and returns the
+/// TimingSummary of every kernel launched inside it.  A region destroyed
+/// without end() is closed and recorded with whatever ran so far.
+class ProfileRegion {
+ public:
+  ProfileRegion(Device& dev, std::string name);
+  ~ProfileRegion();
+
+  ProfileRegion(const ProfileRegion&) = delete;
+  ProfileRegion& operator=(const ProfileRegion&) = delete;
+
+  /// Close the region and return its summary (idempotent: later calls
+  /// return the summary captured by the first).
+  TimingSummary end();
+
+  const std::string& name() const { return name_; }
+
+ private:
+  Device* dev_;
+  std::string name_;
+  u64 begin_;
+  bool ended_ = false;
+  TimingSummary final_;
+};
+
+}  // namespace ms::sim

@@ -1,27 +1,48 @@
 #include "sim/device.hpp"
 
+#include <algorithm>
+
 namespace ms::sim {
 
 Device::Device(DeviceProfile profile)
     : profile_(std::move(profile)),
-      l2_(profile_.l2_bytes, profile_.l2_ways, profile_.transaction_bytes) {}
+      l2_(profile_.l2_bytes, profile_.l2_ways, profile_.transaction_bytes) {
+  sites_.push_back(SiteStats{"other", {}});  // SiteId 0 == kSiteOther
+  writeback_site_ = site_id("sim/l2_writeback");
+}
 
 void Device::begin_kernel(std::string name) {
   check(!in_kernel_, "begin_kernel: a kernel is already executing");
   in_kernel_ = true;
   current_ = KernelEvents{};
+  site_snapshot_ = KernelEvents{};
+  kernel_sites_.clear();
   current_name_ = std::move(name);
 }
 
 const KernelRecord& Device::end_kernel() {
   check(in_kernel_, "end_kernel: no kernel is executing");
   in_kernel_ = false;
+  flush_site_delta();
   // Stores become globally visible at kernel end: flush dirty L2 sectors.
-  current_.dram_write_tx += l2_.flush_dirty();
+  // The flushed write traffic is attributed to its own site so explicit
+  // scatter sites keep only the transactions their lanes caused directly.
+  const u64 writeback = l2_.flush_dirty();
+  if (writeback > 0) {
+    const SiteId prev = current_site_;
+    current_site_ = writeback_site_;
+    current_.dram_write_tx += writeback;
+    flush_site_delta();
+    current_site_ = prev;
+  }
 
   KernelRecord rec;
   rec.name = std::move(current_name_);
   rec.events = current_;
+  std::sort(kernel_sites_.begin(), kernel_sites_.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  rec.sites = std::move(kernel_sites_);
+  kernel_sites_.clear();
   const CostBreakdown c = model_kernel_cost(current_, profile_);
   rec.time_ms = c.time_ms;
   rec.mem_time_ms = c.mem_time_ms;
@@ -81,10 +102,52 @@ f64 Device::total_ms() const {
   return t;
 }
 
+SiteId Device::site_id(std::string_view label) {
+  for (SiteId i = 0; i < sites_.size(); ++i) {
+    if (sites_[i].label == label) return i;
+  }
+  sites_.push_back(SiteStats{std::string(label), {}});
+  return static_cast<SiteId>(sites_.size() - 1);
+}
+
+SiteId Device::set_site(SiteId site) {
+  check(site < sites_.size(), "set_site: unregistered site id");
+  flush_site_delta();
+  const SiteId prev = current_site_;
+  current_site_ = site;
+  return prev;
+}
+
+const std::vector<SiteStats>& Device::site_stats() {
+  flush_site_delta();
+  return sites_;
+}
+
+void Device::flush_site_delta() {
+  const KernelEvents delta = current_ - site_snapshot_;
+  if (!(delta == KernelEvents{})) {
+    sites_[current_site_].events += delta;
+    auto it = std::find_if(kernel_sites_.begin(), kernel_sites_.end(),
+                           [&](const auto& p) { return p.first == current_site_; });
+    if (it == kernel_sites_.end()) {
+      kernel_sites_.emplace_back(current_site_, delta);
+    } else {
+      it->second += delta;
+    }
+  }
+  site_snapshot_ = current_;
+}
+
 void Device::reset_stats() {
   check(!in_kernel_, "reset_stats: kernel executing");
   l2_.reset();
   records_.clear();
+  regions_.clear();
+  for (auto& s : sites_) s.events = KernelEvents{};
+  current_ = KernelEvents{};
+  site_snapshot_ = KernelEvents{};
+  kernel_sites_.clear();
+  current_site_ = kSiteOther;
 }
 
 }  // namespace ms::sim

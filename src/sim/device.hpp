@@ -9,10 +9,12 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "sim/cache.hpp"
 #include "sim/cost_model.hpp"
+#include "sim/counters.hpp"
 #include "sim/events.hpp"
 #include "sim/profile.hpp"
 #include "sim/types.hpp"
@@ -50,7 +52,8 @@ class Device {
   void clear_records() { records_.clear(); }
 
   /// Position marker for timing sections: summarize everything executed
-  /// after a mark() with summary_since().
+  /// after a mark() with summary_since().  (ProfileRegion in counters.hpp
+  /// is the scoped front-end; this stays as the underlying primitive.)
   u64 mark() const { return records_.size(); }
   TimingSummary summary_since(u64 mark) const;
   TimingSummary summary_all() const { return summary_since(0); }
@@ -58,10 +61,32 @@ class Device {
   /// Total modeled milliseconds across all recorded kernels.
   f64 total_ms() const;
 
-  /// Reset the cache and the kernel log (buffers keep their contents).
+  // --- per-site attribution (see counters.hpp) ---
+  /// Register-or-look-up an access site by label.  Labels are stable for
+  /// the device's lifetime; register once outside hot loops and reuse the
+  /// id from ScopedSite(dev, id).
+  SiteId site_id(std::string_view label);
+  /// Switch the current attribution site (flushing the pending counter
+  /// delta to the outgoing site); returns the previous site.  Prefer
+  /// ScopedSite over calling this directly.
+  SiteId set_site(SiteId site);
+  SiteId current_site() const { return current_site_; }
+  /// Accumulated per-site counters across all recorded kernels (pending
+  /// deltas are flushed first).  Index == SiteId.
+  const std::vector<SiteStats>& site_stats();
+
+  // --- profiled regions (stage bands; see counters.hpp) ---
+  const std::vector<RegionRecord>& regions() const { return regions_; }
+  void add_region(RegionRecord r) { regions_.push_back(std::move(r)); }
+
+  /// Reset the cache, the kernel log, per-site counters and regions
+  /// (buffers keep their contents; site labels stay registered).
   void reset_stats();
 
  private:
+  /// Attribute `current_ - site_snapshot_` to the current site.
+  void flush_site_delta();
+
   DeviceProfile profile_;
   SectorCache l2_;
   KernelEvents current_;
@@ -69,6 +94,15 @@ class Device {
   bool in_kernel_ = false;
   u64 next_addr_ = 0;
   std::vector<KernelRecord> records_;
+  std::vector<RegionRecord> regions_;
+
+  std::vector<SiteStats> sites_;
+  SiteId current_site_ = kSiteOther;
+  SiteId writeback_site_ = 0;  // set in the constructor
+  KernelEvents site_snapshot_;
+  /// Site slices of the kernel currently executing (moved into its
+  /// KernelRecord at end_kernel).
+  std::vector<std::pair<u32, KernelEvents>> kernel_sites_;
 };
 
 }  // namespace ms::sim

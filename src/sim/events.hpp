@@ -5,6 +5,7 @@
 #pragma once
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "sim/types.hpp"
@@ -61,6 +62,35 @@ struct KernelEvents {
     atomic_conflicts += o.atomic_conflicts;
     return *this;
   }
+
+  /// Counter delta (used by per-site attribution: every increment between
+  /// two snapshots belongs to exactly one site).  All counters are
+  /// monotonically increasing within a kernel, so the subtraction is safe.
+  KernelEvents& operator-=(const KernelEvents& o) {
+    issue_slots -= o.issue_slots;
+    scatter_replays -= o.scatter_replays;
+    smem_slots -= o.smem_slots;
+    dram_read_tx -= o.dram_read_tx;
+    dram_write_tx -= o.dram_write_tx;
+    l2_read_segments -= o.l2_read_segments;
+    l2_write_segments -= o.l2_write_segments;
+    useful_bytes_read -= o.useful_bytes_read;
+    useful_bytes_written -= o.useful_bytes_written;
+    warps_launched -= o.warps_launched;
+    blocks_launched -= o.blocks_launched;
+    barriers -= o.barriers;
+    atomic_ops -= o.atomic_ops;
+    atomic_conflicts -= o.atomic_conflicts;
+    return *this;
+  }
+
+  friend KernelEvents operator+(KernelEvents a, const KernelEvents& b) {
+    return a += b;
+  }
+  friend KernelEvents operator-(KernelEvents a, const KernelEvents& b) {
+    return a -= b;
+  }
+  friend bool operator==(const KernelEvents&, const KernelEvents&) = default;
 };
 
 /// One executed kernel: its name, counted events, and modeled time.
@@ -70,6 +100,11 @@ struct KernelRecord {
   f64 time_ms = 0.0;       // modeled end-to-end time including launch
   f64 mem_time_ms = 0.0;   // DRAM-throughput component
   f64 issue_time_ms = 0.0; // instruction-issue component
+  /// Per-access-site attribution of `events` for this kernel: (site id,
+  /// counter slice) pairs for every site touched while it ran.  The slices
+  /// partition `events` exactly -- summing them reproduces the totals (the
+  /// unattributed remainder is carried by site 0).
+  std::vector<std::pair<u32, KernelEvents>> sites;
 };
 
 /// Aggregate of a sequence of kernels (e.g., one multisplit stage).
@@ -82,6 +117,13 @@ struct TimingSummary {
     total_ms += r.time_ms;
     kernels += 1;
     events += r.events;
+  }
+
+  TimingSummary& operator+=(const TimingSummary& o) {
+    total_ms += o.total_ms;
+    kernels += o.kernels;
+    events += o.events;
+    return *this;
   }
 };
 

@@ -4,10 +4,13 @@
 #include "sim/block.hpp"
 #include "sim/cache.hpp"
 #include "sim/cost_model.hpp"
+#include "sim/counters.hpp"
 #include "sim/device.hpp"
 #include "sim/events.hpp"
+#include "sim/json.hpp"
 #include "sim/kernel.hpp"
 #include "sim/memory.hpp"
 #include "sim/profile.hpp"
+#include "sim/trace.hpp"
 #include "sim/types.hpp"
 #include "sim/warp.hpp"

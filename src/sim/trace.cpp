@@ -1,0 +1,170 @@
+#include "sim/trace.hpp"
+
+#include <fstream>
+#include <ostream>
+
+#include "sim/cost_model.hpp"
+#include "sim/device.hpp"
+#include "sim/json.hpp"
+
+namespace ms::sim {
+
+namespace {
+
+constexpr u32 kTidStages = 0;
+constexpr u32 kTidKernels = 1;
+constexpr u32 kTidMem = 2;
+constexpr u32 kTidIssue = 3;
+
+void metadata_event(JsonWriter& w, const char* name, u32 tid,
+                    const char* value) {
+  w.begin_object()
+      .field("ph", "M")
+      .field("pid", u64{0})
+      .field("tid", static_cast<u64>(tid))
+      .field("name", name);
+  w.key("args").begin_object().field("name", value).end_object();
+  w.end_object();
+}
+
+void slice_begin(JsonWriter& w, std::string_view name, const char* cat,
+                 u32 tid, f64 ts_us, f64 dur_us) {
+  w.begin_object()
+      .field("ph", "X")
+      .field("pid", u64{0})
+      .field("tid", static_cast<u64>(tid))
+      .field("name", name)
+      .field("cat", cat)
+      .field("ts", ts_us)
+      .field("dur", dur_us);
+}
+
+void counter_event(JsonWriter& w, const char* name, f64 ts_us) {
+  w.begin_object()
+      .field("ph", "C")
+      .field("pid", u64{0})
+      .field("tid", u64{0})
+      .field("name", name)
+      .field("ts", ts_us);
+}
+
+}  // namespace
+
+void write_chrome_trace(Device& dev, std::ostream& os) {
+  const auto& records = dev.records();
+  const auto& sites = dev.site_stats();  // flushes pending deltas; id -> label
+  const DeviceProfile& prof = dev.profile();
+
+  // Modeled start time of each kernel (and the end of the last), in us.
+  std::vector<f64> start_us(records.size() + 1, 0.0);
+  for (u64 i = 0; i < records.size(); ++i) {
+    start_us[i + 1] = start_us[i] + records[i].time_ms * 1e3;
+  }
+
+  JsonWriter w(os);
+  w.begin_object();
+  w.field("displayTimeUnit", "ms");
+  w.key("otherData").begin_object().field("device", prof.name).end_object();
+  w.key("traceEvents").begin_array();
+
+  metadata_event(w, "process_name", 0, ("simulated " + prof.name).c_str());
+  metadata_event(w, "thread_name", kTidStages, "stages");
+  metadata_event(w, "thread_name", kTidKernels, "kernels");
+  metadata_event(w, "thread_name", kTidMem, "memory pipe");
+  metadata_event(w, "thread_name", kTidIssue, "issue pipe");
+
+  // Stage bands from recorded ProfileRegions.
+  for (const RegionRecord& reg : dev.regions()) {
+    if (reg.first_kernel >= reg.end_kernel ||
+        reg.end_kernel > records.size()) {
+      continue;
+    }
+    const f64 ts = start_us[reg.first_kernel];
+    const f64 dur = start_us[reg.end_kernel] - ts;
+    slice_begin(w, reg.name, "stage", kTidStages, ts, dur);
+    w.end_object();
+  }
+
+  // Kernel slices + pipe sub-slices + counter tracks.
+  u64 dram_read = 0, dram_write = 0;
+  counter_event(w, "DRAM transactions", 0.0);
+  w.key("args").begin_object().field("read", u64{0}).field("write", u64{0});
+  w.end_object().end_object();
+
+  for (u64 i = 0; i < records.size(); ++i) {
+    const KernelRecord& r = records[i];
+    const f64 ts = start_us[i];
+
+    slice_begin(w, r.name, "kernel", kTidKernels, ts, r.time_ms * 1e3);
+    w.key("args").begin_object();
+    w.field("issue_slots", r.events.issue_slots)
+        .field("scatter_replays", r.events.scatter_replays)
+        .field("smem_slots", r.events.smem_slots)
+        .field("dram_read_tx", r.events.dram_read_tx)
+        .field("dram_write_tx", r.events.dram_write_tx)
+        .field("l2_read_segments", r.events.l2_read_segments)
+        .field("l2_write_segments", r.events.l2_write_segments)
+        .field("useful_bytes_read", r.events.useful_bytes_read)
+        .field("useful_bytes_written", r.events.useful_bytes_written)
+        .field("warps_launched", r.events.warps_launched)
+        .field("barriers", r.events.barriers)
+        .field("atomic_ops", r.events.atomic_ops)
+        .field("coalescing_pct",
+               100.0 * coalescing_efficiency(r.events, prof))
+        .field("achieved_gbps", achieved_bandwidth_gbps(r));
+    if (!r.sites.empty()) {
+      w.key("sites").begin_object();
+      for (const auto& [site, ev] : r.sites) {
+        w.key(site < sites.size() ? sites[site].label : "?").begin_object();
+        w.field("coalescing_pct", 100.0 * coalescing_efficiency(ev, prof))
+            .field("l2_segments", ev.l2_read_segments + ev.l2_write_segments)
+            .field("scatter_replays", ev.scatter_replays)
+            .field("issue_slots", ev.issue_slots);
+        w.end_object();
+      }
+      w.end_object();
+    }
+    w.end_object();  // args
+    w.end_object();  // kernel slice
+
+    // The two roofline components as sub-slices on their own pipes.
+    if (r.mem_time_ms > 0.0) {
+      slice_begin(w, r.name, "mem", kTidMem, ts + prof.kernel_launch_us,
+                  r.mem_time_ms * 1e3);
+      w.end_object();
+    }
+    if (r.issue_time_ms > 0.0) {
+      slice_begin(w, r.name, "issue", kTidIssue, ts + prof.kernel_launch_us,
+                  r.issue_time_ms * 1e3);
+      w.end_object();
+    }
+
+    dram_read += r.events.dram_read_tx;
+    dram_write += r.events.dram_write_tx;
+    counter_event(w, "DRAM transactions", start_us[i + 1]);
+    w.key("args").begin_object().field("read", dram_read).field("write",
+                                                                dram_write);
+    w.end_object().end_object();
+
+    counter_event(w, "achieved GB/s", ts);
+    w.key("args").begin_object().field("gbps", achieved_bandwidth_gbps(r));
+    w.end_object().end_object();
+  }
+  if (!records.empty()) {
+    counter_event(w, "achieved GB/s", start_us[records.size()]);
+    w.key("args").begin_object().field("gbps", 0.0).end_object().end_object();
+  }
+
+  w.end_array();  // traceEvents
+  w.end_object();
+}
+
+bool write_chrome_trace_file(Device& dev, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) return false;
+  write_chrome_trace(dev, os);
+  os << '\n';
+  return os.good();
+}
+
+}  // namespace ms::sim

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Regression gate for the simulator's modeled performance.
+
+Runs a bench binary with --json at the baseline's recorded problem size and
+compares every (method, m, key_value) rate against the committed baseline,
+failing on relative drift beyond the tolerance.  The simulator is fully
+deterministic, so drift means the cost model or an implementation changed;
+rerun
+
+    build/bench/table5_rates --n <log2_n> --trials <trials> \
+        --json bench/baselines/table5_rates_n14.json
+
+and commit the new file together with the change that explains it.
+
+Usage: check_bench.py <bench-binary> <baseline.json> [tolerance]
+"""
+
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+
+def load_results(doc):
+    """Index a bench report's results by (method, m, key_value)."""
+    out = {}
+    for row in doc["results"]:
+        key = (row["method"], row["m"], row["key_value"])
+        if key in out:
+            raise SystemExit(f"duplicate result row {key}")
+        out[key] = row
+    return out
+
+
+def main():
+    if len(sys.argv) not in (3, 4):
+        print(__doc__, file=sys.stderr)
+        return 2
+    bench = Path(sys.argv[1])
+    baseline_path = Path(sys.argv[2])
+    tolerance = float(sys.argv[3]) if len(sys.argv) == 4 else 0.10
+
+    baseline = json.loads(baseline_path.read_text())
+    with tempfile.TemporaryDirectory() as tmp:
+        out_path = Path(tmp) / "current.json"
+        cmd = [
+            str(bench),
+            "--n", str(baseline["log2_n"]),
+            "--trials", str(baseline["trials"]),
+            "--json", str(out_path),
+        ]
+        proc = subprocess.run(cmd, stdout=subprocess.DEVNULL)
+        if proc.returncode != 0:
+            print(f"FAIL: {' '.join(cmd)} exited {proc.returncode}")
+            return 1
+        current = json.loads(out_path.read_text())
+
+    if current["device"] != baseline["device"]:
+        print(f"FAIL: device changed: {baseline['device']} -> "
+              f"{current['device']}")
+        return 1
+
+    base_rows = load_results(baseline)
+    cur_rows = load_results(current)
+    failures = []
+    for key, base in base_rows.items():
+        cur = cur_rows.get(key)
+        if cur is None:
+            failures.append(f"{key}: missing from current run")
+            continue
+        want, got = base["rate_gkeys"], cur["rate_gkeys"]
+        drift = abs(got - want) / want
+        status = "ok" if drift <= tolerance else "DRIFT"
+        method, m, kv = key
+        print(f"{status:5} {method:<18} m={m:<3} {'kv' if kv else 'key':<3} "
+              f"baseline {want:6.2f} current {got:6.2f} Gkeys/s "
+              f"({drift * 100:+.1f}%)")
+        if drift > tolerance:
+            failures.append(
+                f"{key}: {want:.3f} -> {got:.3f} Gkeys/s "
+                f"({drift * 100:.1f}% > {tolerance * 100:.0f}%)")
+    for key in cur_rows.keys() - base_rows.keys():
+        print(f"note: {key} not in baseline (new configuration)")
+
+    if failures:
+        print(f"\nFAIL: {len(failures)} configuration(s) drifted:")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print(f"\nOK: {len(base_rows)} configurations within "
+          f"{tolerance * 100:.0f}% of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,10 +4,14 @@
 //
 //   $ ms_cli --method warp --m 8 --n 20 --dist binomial --kv
 //   $ ms_cli --method all --m 32 --device 750ti
+//   $ ms_cli --method warp --m 32 --trace out.json   # Perfetto timeline
+//   $ ms_cli --method all --sites                    # per-site counters
 //   $ ms_cli --list
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <map>
+#include <optional>
 #include <string>
 
 #include "multisplit/multisplit.hpp"
@@ -53,6 +57,9 @@ void usage(const char* argv0) {
       "  --nw <warps>          warps per block (default 8)\n"
       "  --ipt <items>         items per thread, warp methods (default 1)\n"
       "  --seed <u64>          workload seed\n"
+      "  --sites               print per-access-site counters\n"
+      "  --json <file>         write a machine-readable report\n"
+      "  --trace <file>        write a Chrome/Perfetto trace (single method)\n"
       "  --list                list methods and exit\n");
 }
 
@@ -66,9 +73,13 @@ struct Args {
   u32 nw = 8;
   u32 ipt = 1;
   u64 seed = 0xC0FFEE;
+  bool sites = false;
+  std::string json_path;
+  std::string trace_path;
 };
 
-void run_one(const Args& a, const std::string& name, split::Method method) {
+void run_one(const Args& a, const std::string& name, split::Method method,
+             sim::JsonWriter* jw) {
   workload::WorkloadConfig wc;
   wc.dist = kDists.at(a.dist);
   wc.m = a.m;
@@ -114,6 +125,60 @@ void run_one(const Args& a, const std::string& name, split::Method method) {
       r.stages.scan_ms, r.stages.postscan_ms,
       100.0 * sim::coalescing_efficiency(ev, dev.profile()),
       static_cast<unsigned long long>(r.summary.kernels));
+
+  const auto& sites = dev.site_stats();
+  if (a.sites) {
+    std::printf("  %-28s %12s %10s %10s %10s %6s\n", "site", "issue_slots",
+                "replays", "dram_rd", "dram_wr", "coal%");
+    for (const auto& s : sites) {
+      if (s.events == sim::KernelEvents{}) continue;
+      std::printf("  %-28s %12llu %10llu %10llu %10llu %5.0f%%\n",
+                  s.label.c_str(),
+                  static_cast<unsigned long long>(s.events.issue_slots),
+                  static_cast<unsigned long long>(s.events.scatter_replays),
+                  static_cast<unsigned long long>(s.events.dram_read_tx),
+                  static_cast<unsigned long long>(s.events.dram_write_tx),
+                  100.0 * sim::coalescing_efficiency(s.events, dev.profile()));
+    }
+  }
+  if (jw != nullptr) {
+    auto& w = *jw;
+    w.begin_object();
+    w.field("method", name);
+    w.field("total_ms", r.total_ms());
+    w.field("rate_gkeys", static_cast<f64>(n) / (r.total_ms() * 1e6));
+    w.field("kernels", r.summary.kernels);
+    w.key("stages").begin_object();
+    w.field("prescan_ms", r.stages.prescan_ms);
+    w.field("scan_ms", r.stages.scan_ms);
+    w.field("postscan_ms", r.stages.postscan_ms);
+    w.end_object();
+    w.field("coalescing_pct",
+            100.0 * sim::coalescing_efficiency(ev, dev.profile()));
+    w.key("sites").begin_array();
+    for (const auto& s : sites) {
+      if (s.events == sim::KernelEvents{}) continue;
+      w.begin_object();
+      w.field("label", s.label);
+      w.field("issue_slots", s.events.issue_slots);
+      w.field("scatter_replays", s.events.scatter_replays);
+      w.field("smem_slots", s.events.smem_slots);
+      w.field("dram_read_tx", s.events.dram_read_tx);
+      w.field("dram_write_tx", s.events.dram_write_tx);
+      w.field("useful_bytes_read", s.events.useful_bytes_read);
+      w.field("useful_bytes_written", s.events.useful_bytes_written);
+      w.field("coalescing_pct",
+              100.0 * sim::coalescing_efficiency(s.events, dev.profile()));
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  if (!a.trace_path.empty()) {
+    if (!sim::write_chrome_trace_file(dev, a.trace_path))
+      std::printf("warning: could not write trace to '%s'\n",
+                  a.trace_path.c_str());
+  }
 }
 
 }  // namespace
@@ -134,6 +199,9 @@ int main(int argc, char** argv) {
     else if (!std::strcmp(argv[i], "--nw")) a.nw = std::stoul(next());
     else if (!std::strcmp(argv[i], "--ipt")) a.ipt = std::stoul(next());
     else if (!std::strcmp(argv[i], "--seed")) a.seed = std::stoull(next());
+    else if (!std::strcmp(argv[i], "--sites")) a.sites = true;
+    else if (!std::strcmp(argv[i], "--json")) a.json_path = next();
+    else if (!std::strcmp(argv[i], "--trace")) a.trace_path = next();
     else if (!std::strcmp(argv[i], "--list")) {
       for (const auto& [name, meth] : kMethods)
         std::printf("%-16s %s\n", name.c_str(), to_string(meth).c_str());
@@ -147,18 +215,51 @@ int main(int argc, char** argv) {
     std::printf("unknown distribution '%s'\n", a.dist.c_str());
     return 1;
   }
+  if (a.device != "k40c" && a.device != "750ti" && a.device != "sol") {
+    std::printf("unknown device '%s' (expected k40c, 750ti or sol)\n",
+                a.device.c_str());
+    return 1;
+  }
+  if (!a.trace_path.empty() && a.method == "all") {
+    std::printf("--trace needs a single --method (one trace per device)\n");
+    return 1;
+  }
+
+  std::ofstream json_out;
+  std::optional<sim::JsonWriter> jw;
+  if (!a.json_path.empty()) {
+    json_out.open(a.json_path);
+    if (!json_out) {
+      std::printf("cannot open '%s' for writing\n", a.json_path.c_str());
+      return 1;
+    }
+    jw.emplace(json_out);
+    jw->begin_object();
+    jw->field("tool", "ms_cli");
+    jw->field("log2_n", a.log2_n);
+    jw->field("m", a.m);
+    jw->field("dist", a.dist);
+    jw->field("device", a.device);
+    jw->field("key_value", a.kv);
+    jw->key("results").begin_array();
+  }
+  sim::JsonWriter* jwp = jw ? &*jw : nullptr;
 
   std::printf("n = 2^%u, m = %u, %s, %s, %s\n\n", a.log2_n, a.m,
               a.dist.c_str(), a.kv ? "key-value" : "key-only",
               a.device.c_str());
   if (a.method == "all") {
-    for (const auto& [name, meth] : kMethods) run_one(a, name, meth);
+    for (const auto& [name, meth] : kMethods) run_one(a, name, meth, jwp);
   } else if (kMethods.contains(a.method)) {
-    run_one(a, a.method, kMethods.at(a.method));
+    run_one(a, a.method, kMethods.at(a.method), jwp);
   } else {
     std::printf("unknown method '%s'\n", a.method.c_str());
     usage(argv[0]);
     return 1;
+  }
+  if (jw) {
+    jw->end_array().end_object();
+    json_out << "\n";
   }
   return 0;
 }
