@@ -85,9 +85,13 @@ MultisplitResult randomized_insertion_ms(Device& dev,
         (hist[d] / clears_per_flush + 2) * static_cast<u64>(cap[d]);
     gbase[d + 1] = gbase[d] + end_flushes + mid_flushes;
   }
-  DeviceBuffer<u32> staged_keys(dev, gbase[m]);
-  DeviceBuffer<u32> staged_flags(dev, gbase[m]);
-  DeviceBuffer<u32> cursor(dev, m);
+  DeviceBuffer<u32> staged_keys(dev, gbase[m], "randomized/staged_keys");
+  DeviceBuffer<u32> staged_flags(dev, gbase[m], "randomized/staged_flags");
+  DeviceBuffer<u32> cursor(dev, m, "randomized/cursor");
+  // staged_keys must be cleared too: the worst-case staging slack beyond
+  // the final cursors is never flushed to, yet the flag-driven compaction
+  // below streams the whole buffer (initcheck would rightly flag it).
+  sim::device_fill<u32>(dev, staged_keys, 0);
   sim::device_fill<u32>(dev, staged_flags, 0);
   sim::device_fill<u32>(dev, cursor, 0);
   const sim::TimingSummary hist_sum = hist_region.end();
@@ -95,16 +99,29 @@ MultisplitResult randomized_insertion_ms(Device& dev,
   sim::ProfileRegion insert_region(dev, "randomized/insertion");
   // ---- stage 2: dart throwing into shared buffers, flush on pressure ---
   sim::launch_blocks(dev, "randomized_insertion", nblocks, nw, [&](Block& blk) {
-    auto sm_keys = blk.shared<u32>(cap_total);
-    auto sm_occ = blk.shared<u32>(cap_total);
+    auto sm_keys = blk.shared<u32>(cap_total, "randomized/sm_keys");
+    auto sm_occ = blk.shared<u32>(cap_total, "randomized/sm_occ");
+    // Benign-race annotation: warps share these buffers within a barrier
+    // epoch on purpose.  Slot ownership is claimed through the serialized
+    // shared atomic on sm_occ, and the mid-kernel flushes rely on the
+    // simulator's run-each-warp-to-completion execution order (see the
+    // dart-throwing comment below).  Racecheck would rightly flag that as
+    // scheduling-dependent on real hardware; here it is the modeled
+    // contention experiment itself.
+    sm_keys.annotate_warp_serialized();
+    sm_occ.annotate_warp_serialized();
     const u64 tile_base = static_cast<u64>(blk.block_id()) * tile;
 
-    // Zero occupancy flags cooperatively.
+    // Zero occupancy flags AND the key buffer cooperatively: flushes copy
+    // every slot of a buffer, empties included, so unclaimed key slots are
+    // read later and must hold defined values.
     blk.for_each_warp([&](Warp& w) {
       for (u32 base = w.warp_in_block() * kWarpSize; base < cap_total;
            base += nw * kWarpSize) {
         const LaneMask mask = sim::tail_mask(cap_total - base);
         w.smem_write(sm_occ, LaneArray<u32>::iota(base), LaneArray<u32>{},
+                     mask);
+        w.smem_write(sm_keys, LaneArray<u32>::iota(base), LaneArray<u32>{},
                      mask);
       }
     });

@@ -1,6 +1,7 @@
 #include "sim/device.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 
 namespace ms::sim {
 
@@ -9,6 +10,16 @@ Device::Device(DeviceProfile profile)
       l2_(profile_.l2_bytes, profile_.l2_ways, profile_.transaction_bytes) {
   sites_.push_back(SiteStats{"other", {}});  // SiteId 0 == kSiteOther
   writeback_site_ = site_id("sim/l2_writeback");
+  // MS_SANITIZE=memcheck,racecheck,initcheck (or "all") arms the sanitizer
+  // on every device, in fail-fast mode, so an unmodified test suite can be
+  // rerun under the sanitizers (the CTest sanitize_clean_suite entry).
+  if (const char* env = std::getenv("MS_SANITIZE"); env != nullptr && *env) {
+    const auto cfg = SanitizerConfig::parse(env);
+    check(cfg.has_value(), "MS_SANITIZE: unknown sanitizer tool name");
+    SanitizerConfig armed = *cfg;
+    armed.fail_fast = armed.any();
+    san_.configure(armed);
+  }
 }
 
 void Device::begin_kernel(std::string name) {
@@ -38,7 +49,10 @@ const KernelRecord& Device::end_kernel() {
 
   KernelRecord rec;
   rec.name = std::move(current_name_);
+  current_name_.clear();
   rec.events = current_;
+  rec.faulted = pending_fault_;
+  pending_fault_ = false;
   std::sort(kernel_sites_.begin(), kernel_sites_.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
   rec.sites = std::move(kernel_sites_);

@@ -12,11 +12,14 @@
 #include <string_view>
 #include <vector>
 
+#include <optional>
+
 #include "sim/cache.hpp"
 #include "sim/cost_model.hpp"
 #include "sim/counters.hpp"
 #include "sim/events.hpp"
 #include "sim/profile.hpp"
+#include "sim/sanitizer.hpp"
 #include "sim/types.hpp"
 
 namespace ms::sim {
@@ -31,6 +34,27 @@ class Device {
   void begin_kernel(std::string name);
   const KernelRecord& end_kernel();
   bool in_kernel() const { return in_kernel_; }
+  /// Name of the kernel currently executing ("" between launches); used by
+  /// the sanitizer hooks to stamp FaultContexts.
+  const std::string& current_kernel_name() const { return current_name_; }
+
+  // --- sanitizer & structured faults (see sanitizer.hpp) ---
+  Sanitizer& sanitizer() { return san_; }
+  const Sanitizer& sanitizer() const { return san_; }
+  /// Record a fatal fault: parks it as last_error() and flags the kernel
+  /// record being finalized.  Called by the launch helpers' catch path.
+  void note_fault(const FaultContext& ctx) {
+    last_error_ = ctx;
+    if (in_kernel_) pending_fault_ = true;
+  }
+  /// The most recent fatal fault, if any (sticky, like cudaPeekAtLastError).
+  const std::optional<FaultContext>& last_error() const { return last_error_; }
+  /// Return and clear the sticky fault (the cudaGetLastError idiom).
+  std::optional<FaultContext> take_last_error() {
+    std::optional<FaultContext> e = std::move(last_error_);
+    last_error_.reset();
+    return e;
+  }
 
   // --- address space for DeviceBuffer allocations ---
   /// Reserve `bytes` of device address space, aligned to a sector.
@@ -89,6 +113,9 @@ class Device {
 
   DeviceProfile profile_;
   SectorCache l2_;
+  Sanitizer san_;
+  std::optional<FaultContext> last_error_;
+  bool pending_fault_ = false;
   KernelEvents current_;
   std::string current_name_;
   bool in_kernel_ = false;

@@ -100,6 +100,9 @@ struct KernelRecord {
   f64 time_ms = 0.0;       // modeled end-to-end time including launch
   f64 mem_time_ms = 0.0;   // DRAM-throughput component
   f64 issue_time_ms = 0.0; // instruction-issue component
+  /// True when the launch was cut short by a fatal fault (see
+  /// sanitizer.hpp); events and time cover only what ran.
+  bool faulted = false;
   /// Per-access-site attribution of `events` for this kernel: (site id,
   /// counter slice) pairs for every site touched while it ran.  The slices
   /// partition `events` exactly -- summing them reproduces the totals (the

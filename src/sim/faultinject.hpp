@@ -1,0 +1,108 @@
+// Fault-injection harness: tiny kernels that each exhibit exactly one
+// fault class the sanitizer is supposed to catch.  They are the positive
+// controls for the sanitizer subsystem -- tests (and skeptical users) run
+// them under each tool and assert the expected report appears with full
+// context, the same way compute-sanitizer's own test apps ship known-bad
+// kernels.
+//
+// Each injector is deliberately minimal: one buffer or one shared tile,
+// one access pattern, one bug.  None of them depend on the multisplit
+// primitives, so a sanitizer regression cannot be masked by an algorithm
+// change.
+#pragma once
+
+#include "sim/kernel.hpp"
+
+namespace ms::sim::inject {
+
+/// memcheck (global): scatter with a classic off-by-one -- lane 31 of the
+/// last warp writes index n, one past the end of an n-element buffer.
+inline void oob_scatter(Device& dev, u64 n = 64) {
+  DeviceBuffer<u32> buf(dev, n, "inject::oob_scatter.buf");
+  buf.fill(0);
+  launch_warps(dev, "inject_oob_scatter", ceil_div(n, kWarpSize),
+               [&](Warp& w, u64 wid) {
+                 const u64 base = wid * kWarpSize;
+                 const LaneMask active = tail_mask(n - base);
+                 // Off by one: writes [base+1, base+32] instead of
+                 // [base, base+31]; the final lane lands on index n.
+                 const auto idx =
+                     Warp::lane_id().map([&](u32 l) { return base + l + 1; });
+                 w.scatter(buf, idx, LaneArray<u32>::filled(1u), active);
+               });
+}
+
+/// memcheck (host): index one past the end from host code.
+inline void oob_host_index(Device& dev, u64 n = 16) {
+  DeviceBuffer<u32> buf(dev, n, "inject::oob_host.buf");
+  buf[n] = 0;  // throws SimError{kHostOOB}
+}
+
+/// memcheck (shared): lane 31 reads one element past a 32-element tile.
+inline void smem_oob(Device& dev) {
+  launch_blocks(dev, "inject_smem_oob", 1, 1, [&](Block& blk) {
+    auto tile = blk.shared<u32>(kWarpSize, "inject::smem_oob.tile");
+    blk.for_each_warp([&](Warp& w) {
+      w.smem_write(tile, Warp::lane_id(), LaneArray<u32>::filled(0u));
+      // Off by one: lane i reads tile[i + 1]; lane 31 is out of bounds.
+      const auto idx = Warp::lane_id().map([](u32 l) { return l + 1; });
+      w.smem_read(tile, idx);
+    });
+  });
+}
+
+/// initcheck (global): sums a staging buffer that no host or device code
+/// ever wrote.
+inline void uninit_global_read(Device& dev, u64 n = 64) {
+  DeviceBuffer<u32> staging(dev, n, "inject::uninit.staging");
+  DeviceBuffer<u32> sink(dev, n, "inject::uninit.sink");
+  launch_warps(dev, "inject_uninit_global", ceil_div(n, kWarpSize),
+               [&](Warp& w, u64 wid) {
+                 const u64 base = wid * kWarpSize;
+                 const LaneMask active = tail_mask(n - base);
+                 const auto v = w.load(staging, base, active);
+                 w.store(sink, base, v, active);
+               });
+}
+
+/// initcheck (shared): a tile where only the even elements are written
+/// before the whole tile is read back.
+inline void uninit_smem_read(Device& dev) {
+  launch_blocks(dev, "inject_uninit_smem", 1, 1, [&](Block& blk) {
+    auto tile = blk.shared<u32>(kWarpSize, "inject::uninit.tile");
+    blk.for_each_warp([&](Warp& w) {
+      const LaneMask evens = 0x55555555u;
+      w.smem_write(tile, Warp::lane_id(), LaneArray<u32>::filled(7u), evens);
+      blk.sync();
+      w.smem_read(tile, Warp::lane_id());  // odd words were never written
+    });
+  });
+}
+
+/// racecheck: warp 1 reads the words warp 0 wrote with no Block::sync()
+/// between them -- the canonical skipped barrier.  The simulator executes
+/// the warps sequentially, so the kernel still "works"; only racecheck
+/// sees the missing barrier.
+inline void skipped_barrier(Device& dev) {
+  launch_blocks(dev, "inject_skipped_barrier", 1, 2, [&](Block& blk) {
+    auto tile = blk.shared<u32>(kWarpSize, "inject::race.tile");
+    blk.warp(0).smem_write(tile, Warp::lane_id(),
+                           LaneArray<u32>::filled(42u));
+    // BUG: blk.sync() belongs here.
+    blk.warp(1).smem_read(tile, Warp::lane_id());
+  });
+}
+
+/// smem-overcommit warning: one allocation beyond the device's per-block
+/// shared-memory capacity.
+inline void smem_overcommit(Device& dev) {
+  launch_blocks(dev, "inject_smem_overcommit", 1, 1, [&](Block& blk) {
+    const u32 cap = dev.profile().smem_bytes_per_block;
+    auto big = blk.shared<u32>(cap / 4 + kWarpSize, "inject::overcommit.big");
+    blk.for_each_warp([&](Warp& w) {
+      w.smem_write(big, Warp::lane_id(), LaneArray<u32>::filled(0u));
+    });
+  });
+}
+
+}  // namespace ms::sim::inject

@@ -8,6 +8,15 @@
 // becomes one KernelRecord with its own cost.  `device_fill` and
 // `device_copy` are charged utility kernels (a real implementation would
 // call cudaMemset/cudaMemcpy D2D, which cost bandwidth just the same).
+//
+// Fault handling (see sanitizer.hpp): a SimError thrown mid-kernel aborts
+// the launch.  With the sanitizer disabled -- or in fail_fast mode -- the
+// error propagates to the caller as before.  With a sanitizer armed in
+// reporting mode, the fault parks in Device::last_error() and the launch
+// helper returns normally (the cudaGetLastError idiom); the kernel's
+// record is marked `faulted`.  fail_fast additionally promotes non-fatal
+// error reports (initcheck / racecheck findings) to a SimError thrown at
+// the end of the offending launch.
 #pragma once
 
 #include <utility>
@@ -16,15 +25,41 @@
 
 namespace ms::sim {
 
+namespace detail {
+/// Shared fault policy of the launch helpers.  Returns true when the body
+/// ran to completion (false: a fault aborted it and was swallowed).
+template <typename Body>
+bool run_kernel_body(Device& dev, Body&& run_body) {
+  Sanitizer& san = dev.sanitizer();
+  const u64 errors_before = san.error_count();
+  try {
+    run_body();
+  } catch (const SimError& e) {
+    dev.note_fault(e.context());
+    dev.end_kernel();
+    if (!san.any() || san.fail_fast()) throw;
+    return false;
+  }
+  dev.end_kernel();
+  if (san.fail_fast() && san.error_count() > errors_before) {
+    // Non-fatal reports (initcheck / racecheck) accumulated during the
+    // launch; promote the latest to an error so the run stops here.
+    throw SimError(*san.last_error_report());
+  }
+  return true;
+}
+}  // namespace detail
+
 template <typename F>
 void launch_warps(Device& dev, const char* name, u64 num_warps, F&& body) {
   dev.begin_kernel(name);
   dev.events().warps_launched += num_warps;
-  for (u64 w = 0; w < num_warps; ++w) {
-    Warp warp(dev, w);
-    body(warp, w);
-  }
-  dev.end_kernel();
+  detail::run_kernel_body(dev, [&] {
+    for (u64 w = 0; w < num_warps; ++w) {
+      Warp warp(dev, w);
+      body(warp, w);
+    }
+  });
 }
 
 template <typename F>
@@ -35,16 +70,22 @@ void launch_blocks(Device& dev, const char* name, u32 num_blocks,
   dev.events().blocks_launched += num_blocks;
   dev.events().warps_launched +=
       static_cast<u64>(num_blocks) * warps_per_block;
-  for (u32 b = 0; b < num_blocks; ++b) {
-    Block blk(dev, b, warps_per_block);
-    body(blk);
-  }
-  dev.end_kernel();
+  detail::run_kernel_body(dev, [&] {
+    for (u32 b = 0; b < num_blocks; ++b) {
+      Block blk(dev, b, warps_per_block);
+      body(blk);
+    }
+  });
 }
 
 /// Active-lane mask for a tile of `count` elements starting at a lane-0
-/// position: lanes [0, count) are active.  count must be <= 32.
+/// position: lanes [0, count) are active.  Counts above 32 saturate to a
+/// full mask (callers pass `n - base` for the last tile); a count in the
+/// top half of the u64 range means that subtraction wrapped (base > n),
+/// which is a caller bug, not a short tail.
 inline LaneMask tail_mask(u64 count) {
+  check(count < (u64{1} << 63),
+        "tail_mask: count wrapped negative (tile base beyond element count)");
   if (count == 0) return 0;
   if (count >= kWarpSize) return kFullMask;
   return kFullMask >> (kWarpSize - count);

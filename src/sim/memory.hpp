@@ -5,9 +5,18 @@
 // setup and verification, which the paper excludes from timing); kernels
 // must access it through the Warp context so that every access is charged
 // for coalescing and DRAM traffic.
+//
+// Buffers may carry a name (used by sanitizer fault reports); unnamed
+// buffers are identified by their base address.  When initcheck is armed
+// at construction time the buffer registers a per-element valid-bit shadow
+// with the device's sanitizer: host-side writes (fill, span construction,
+// operator[], host()) mark elements initialized, device-side stores do the
+// same, and device-side reads of never-written elements are reported.
 #pragma once
 
+#include <limits>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "sim/device.hpp"
@@ -15,48 +24,131 @@
 
 namespace ms::sim {
 
+class Warp;
+
 template <typename T>
 class DeviceBuffer {
  public:
   DeviceBuffer() : dev_(nullptr), base_addr_(0) {}
 
-  DeviceBuffer(Device& dev, u64 count)
+  DeviceBuffer(Device& dev, u64 count, std::string_view name = {})
       : dev_(&dev),
-        base_addr_(dev.allocate_address_range(count * sizeof(T))),
-        data_(count) {}
-
-  DeviceBuffer(Device& dev, std::span<const T> init)
-      : DeviceBuffer(dev, init.size()) {
-    std::copy(init.begin(), init.end(), data_.begin());
+        base_addr_(dev.allocate_address_range(checked_bytes(count))),
+        data_(count),
+        name_(name) {
+    shadow_ = dev.sanitizer().on_buffer_alloc(
+        base_addr_, count, static_cast<u32>(sizeof(T)),
+        object_label(name_, base_addr_));
   }
 
-  // Movable, not copyable: a buffer is a unique allocation.
+  DeviceBuffer(Device& dev, std::span<const T> init, std::string_view name = {})
+      : DeviceBuffer(dev, init.size(), name) {
+    std::copy(init.begin(), init.end(), data_.begin());
+    if (shadow_ != nullptr) shadow_->mark_all();
+  }
+
+  // Movable, not copyable: a buffer is a unique allocation.  The source is
+  // detached (its device pointer nulled) so only one object ever owns the
+  // sanitizer shadow registration.
   DeviceBuffer(const DeviceBuffer&) = delete;
   DeviceBuffer& operator=(const DeviceBuffer&) = delete;
-  DeviceBuffer(DeviceBuffer&&) noexcept = default;
-  DeviceBuffer& operator=(DeviceBuffer&&) noexcept = default;
+  DeviceBuffer(DeviceBuffer&& o) noexcept
+      : dev_(std::exchange(o.dev_, nullptr)),
+        base_addr_(std::exchange(o.base_addr_, 0)),
+        data_(std::move(o.data_)),
+        name_(std::move(o.name_)),
+        shadow_(std::exchange(o.shadow_, nullptr)) {}
+  DeviceBuffer& operator=(DeviceBuffer&& o) noexcept {
+    if (this != &o) {
+      release_shadow();
+      dev_ = std::exchange(o.dev_, nullptr);
+      base_addr_ = std::exchange(o.base_addr_, 0);
+      data_ = std::move(o.data_);
+      name_ = std::move(o.name_);
+      shadow_ = std::exchange(o.shadow_, nullptr);
+    }
+    return *this;
+  }
+
+  ~DeviceBuffer() { release_shadow(); }
 
   u64 size() const { return data_.size(); }
   bool empty() const { return data_.empty(); }
   u64 base_address() const { return base_addr_; }
   Device& device() const { return *dev_; }
+  const std::string& name() const { return name_; }
 
-  /// Host-side view (setup / verification only; not charged).
-  std::span<T> host() { return data_; }
+  /// Host-side view (setup / verification only; not charged).  The mutable
+  /// view counts as host initialization of the whole buffer: the simulator
+  /// cannot observe writes through the raw span, so initcheck conservatively
+  /// assumes them (as compute-sanitizer does for host memcpy).
+  std::span<T> host() {
+    if (shadow_ != nullptr) shadow_->mark_all();
+    return data_;
+  }
   std::span<const T> host() const { return data_; }
-  T& operator[](u64 i) { return data_[i]; }
-  const T& operator[](u64 i) const { return data_[i]; }
+
+  T& operator[](u64 i) {
+    host_bounds_check(i);
+    if (shadow_ != nullptr) shadow_->valid[i] = 1;
+    return data_[i];
+  }
+  const T& operator[](u64 i) const {
+    host_bounds_check(i);
+    return data_[i];
+  }
 
   /// Byte address of element i in the device address space.
   u64 address_of(u64 i) const { return base_addr_ + i * sizeof(T); }
 
   /// Host-side fill (setup only).
-  void fill(const T& v) { std::fill(data_.begin(), data_.end(), v); }
+  void fill(const T& v) {
+    std::fill(data_.begin(), data_.end(), v);
+    if (shadow_ != nullptr) shadow_->mark_all();
+  }
+
+  /// The initcheck shadow slot (null unless tracked).  Used by the Warp
+  /// memory instructions; not part of the public surface.
+  GlobalShadow* init_shadow() const { return shadow_; }
 
  private:
+  friend class Warp;
+  /// Unchecked element storage for the Warp memory instructions (which
+  /// bounds-check and update the shadow themselves).
+  T* raw_data() { return data_.data(); }
+  const T* raw_data() const { return data_.data(); }
+
+  /// Allocation-size guard: count * sizeof(T) must not overflow u64.
+  static u64 checked_bytes(u64 count) {
+    check(count <= std::numeric_limits<u64>::max() / sizeof(T),
+          "DeviceBuffer: element count * sizeof(T) overflows");
+    return count * sizeof(T);
+  }
+
+  void host_bounds_check(u64 i) const {
+    if (i < data_.size()) return;
+    FaultContext ctx;
+    ctx.kind = FaultKind::kHostOOB;
+    ctx.kernel = "<host>";
+    ctx.object = object_label(name_, base_addr_);
+    ctx.index = i;
+    ctx.extent = data_.size();
+    ctx.detail = "host-side DeviceBuffer::operator[] out of bounds";
+    throw SimError(std::move(ctx));
+  }
+
+  void release_shadow() {
+    if (shadow_ != nullptr && dev_ != nullptr) {
+      dev_->sanitizer().on_buffer_free(base_addr_);
+      shadow_ = nullptr;
+    }
+  }
+
   Device* dev_;
   u64 base_addr_;
   std::vector<T> data_;
+  std::string name_;
+  GlobalShadow* shadow_ = nullptr;
 };
 
 }  // namespace ms::sim

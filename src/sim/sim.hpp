@@ -7,10 +7,12 @@
 #include "sim/counters.hpp"
 #include "sim/device.hpp"
 #include "sim/events.hpp"
+#include "sim/faultinject.hpp"
 #include "sim/json.hpp"
 #include "sim/kernel.hpp"
 #include "sim/memory.hpp"
 #include "sim/profile.hpp"
+#include "sim/sanitizer.hpp"
 #include "sim/trace.hpp"
 #include "sim/types.hpp"
 #include "sim/warp.hpp"

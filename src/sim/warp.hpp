@@ -153,8 +153,9 @@ class Warp {
     if (active == 0) return out;
     charge_contiguous</*is_write=*/false, T>(buf, base, active);
     for_each_lane(active, [&](u32 lane) {
-      bounds_check(buf, base + lane);
-      out[lane] = buf[base + lane];
+      bounds_check(buf, base + lane, lane, "unit-stride load");
+      init_check_read(buf, base + lane, lane);
+      out[lane] = buf.raw_data()[base + lane];
     });
     return out;
   }
@@ -165,9 +166,11 @@ class Warp {
              LaneMask active = kFullMask) {
     if (active == 0) return;
     charge_contiguous</*is_write=*/true, T>(buf, base, active);
+    GlobalShadow* sh = buf.init_shadow();
     for_each_lane(active, [&](u32 lane) {
-      bounds_check(buf, base + lane);
-      buf[base + lane] = v[lane];
+      bounds_check(buf, base + lane, lane, "unit-stride store");
+      if (sh != nullptr) sh->valid[base + lane] = 1;
+      buf.raw_data()[base + lane] = v[lane];
     });
   }
 
@@ -179,8 +182,9 @@ class Warp {
     if (active == 0) return out;
     charge_scattered</*is_write=*/false, T>(buf, idx, active);
     for_each_lane(active, [&](u32 lane) {
-      bounds_check(buf, idx[lane]);
-      out[lane] = buf[idx[lane]];
+      bounds_check(buf, idx[lane], lane, "gather");
+      init_check_read(buf, idx[lane], lane);
+      out[lane] = buf.raw_data()[idx[lane]];
     });
     return out;
   }
@@ -191,9 +195,11 @@ class Warp {
                const LaneArray<T>& v, LaneMask active = kFullMask) {
     if (active == 0) return;
     charge_scattered</*is_write=*/true, T>(buf, idx, active);
+    GlobalShadow* sh = buf.init_shadow();
     for_each_lane(active, [&](u32 lane) {
-      bounds_check(buf, idx[lane]);
-      buf[idx[lane]] = v[lane];
+      bounds_check(buf, idx[lane], lane, "scatter");
+      if (sh != nullptr) sh->valid[idx[lane]] = 1;
+      buf.raw_data()[idx[lane]] = v[lane];
     });
   }
 
@@ -224,10 +230,13 @@ class Warp {
     // Conflicting lanes replay the atomic.
     dev_->events().issue_slots += (n_active - distinct);
 
+    GlobalShadow* sh = buf.init_shadow();
     for_each_lane(active, [&](u32 lane) {
-      bounds_check(buf, idx[lane]);
-      out[lane] = buf[idx[lane]];
-      buf[idx[lane]] += v[lane];
+      bounds_check(buf, idx[lane], lane, "atomicAdd");
+      init_check_read(buf, idx[lane], lane);
+      if (sh != nullptr) sh->valid[idx[lane]] = 1;
+      out[lane] = buf.raw_data()[idx[lane]];
+      buf.raw_data()[idx[lane]] += v[lane];
     });
     return out;
   }
@@ -253,10 +262,14 @@ class Warp {
     dev_->events().atomic_ops += n_active;
     dev_->events().atomic_conflicts += n_active - distinct;
     dev_->events().issue_slots += (n_active - distinct);
+    GlobalShadow* sh = buf.init_shadow();
     for_each_lane(active, [&](u32 lane) {
-      bounds_check(buf, idx[lane]);
-      out[lane] = buf[idx[lane]];
-      buf[idx[lane]] = std::min(buf[idx[lane]], v[lane]);
+      bounds_check(buf, idx[lane], lane, "atomicMin");
+      init_check_read(buf, idx[lane], lane);
+      if (sh != nullptr) sh->valid[idx[lane]] = 1;
+      out[lane] = buf.raw_data()[idx[lane]];
+      buf.raw_data()[idx[lane]] =
+          std::min(buf.raw_data()[idx[lane]], v[lane]);
     });
     return out;
   }
@@ -275,9 +288,81 @@ class Warp {
                                LaneMask active = kFullMask);
 
  private:
+  /// Build the common part of a fault context for a global access from
+  /// this warp.
   template <typename T>
-  static void bounds_check(const DeviceBuffer<T>& buf, u64 i) {
-    if (i >= buf.size()) fail("global memory access out of bounds");
+  FaultContext global_fault(FaultKind kind, const DeviceBuffer<T>& buf, u64 i,
+                            u32 lane, std::string detail) const {
+    FaultContext ctx;
+    ctx.kind = kind;
+    ctx.kernel = dev_->current_kernel_name();
+    ctx.object = object_label(buf.name(), buf.base_address());
+    ctx.index = i;
+    ctx.extent = buf.size();
+    ctx.lane = lane;
+    ctx.warp_in_block = warp_in_block_;
+    ctx.block = block_id_;
+    ctx.global_warp = global_warp_id_;
+    ctx.detail = std::move(detail);
+    return ctx;
+  }
+
+  /// Same, for a shared-memory access (the smem instructions live in
+  /// block.hpp but are Warp members, so the builders sit here).
+  FaultContext shared_fault(FaultKind kind, std::string_view object, u64 i,
+                            u64 extent, u32 lane, std::string detail) const {
+    FaultContext ctx;
+    ctx.kind = kind;
+    ctx.kernel = dev_->current_kernel_name();
+    ctx.object = std::string(object);
+    ctx.index = i;
+    ctx.extent = extent;
+    ctx.lane = lane;
+    ctx.warp_in_block = warp_in_block_;
+    ctx.block = block_id_;
+    ctx.global_warp = global_warp_id_;
+    ctx.detail = std::move(detail);
+    return ctx;
+  }
+
+  /// Shared OOB: fatal, reported under memcheck (same policy as global
+  /// OOB).  Callers do the cheap index comparison themselves so the
+  /// object-label string is only built on the failure path.
+  [[noreturn]] void smem_oob_fail(u64 i, u64 extent, std::string object,
+                                  u32 lane, const char* what) {
+    FaultContext ctx =
+        shared_fault(FaultKind::kSharedOOB, object, i, extent, lane,
+                     std::string(what) + " out of bounds");
+    if (dev_->sanitizer().memcheck()) dev_->sanitizer().report(ctx);
+    throw SimError(std::move(ctx));
+  }
+
+  /// Global OOB is always fatal (the backing storage does not exist); with
+  /// memcheck armed the fault is also recorded as a sanitizer report so
+  /// the launch helpers can degrade gracefully.
+  template <typename T>
+  void bounds_check(const DeviceBuffer<T>& buf, u64 i, u32 lane,
+                    const char* what) {
+    if (i < buf.size()) return;
+    FaultContext ctx =
+        global_fault(FaultKind::kGlobalOOB, buf, i, lane,
+                     std::string(what) + " out of bounds");
+    if (dev_->sanitizer().memcheck()) dev_->sanitizer().report(ctx);
+    throw SimError(std::move(ctx));
+  }
+
+  /// initcheck: reading an element no host or device write ever touched.
+  /// Non-fatal; the word is marked valid after reporting so one stale
+  /// element does not flood the report stream.
+  template <typename T>
+  void init_check_read(const DeviceBuffer<T>& buf, u64 i, u32 lane) {
+    GlobalShadow* sh = buf.init_shadow();
+    if (sh == nullptr || sh->valid[i] != 0) return;
+    sh->valid[i] = 1;
+    dev_->sanitizer().report(
+        global_fault(FaultKind::kUninitGlobalRead, buf, i, lane,
+                     "read of a global element never written by host or "
+                     "device"));
   }
 
   /// Charge a unit-stride access.  Issue cost: the load-store unit replays

@@ -34,6 +34,7 @@ TEST(SiteAttribution, HandWrittenKernelPartitionsExactly) {
   Device dev;
   const u64 n = 4096;
   DeviceBuffer<u32> a(dev, n), b(dev, n);
+  a.fill(1);
   const SiteId load_site = dev.site_id("test/load");
   const SiteId store_site = dev.site_id("test/store");
 

@@ -6,7 +6,12 @@
 //   $ ms_cli --method all --m 32 --device 750ti
 //   $ ms_cli --method warp --m 32 --trace out.json   # Perfetto timeline
 //   $ ms_cli --method all --sites                    # per-site counters
+//   $ ms_cli --method all --sanitize=memcheck,racecheck,initcheck
 //   $ ms_cli --list
+//
+// With --sanitize, runs continue past faults (the compute-sanitizer model:
+// a faulting launch is aborted and recorded, later launches proceed) and a
+// report is printed per method; the exit code is 1 if any errors were found.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -58,6 +63,7 @@ void usage(const char* argv0) {
       "  --ipt <items>         items per thread, warp methods (default 1)\n"
       "  --seed <u64>          workload seed\n"
       "  --sites               print per-access-site counters\n"
+      "  --sanitize <tools>    memcheck,racecheck,initcheck (or all|none)\n"
       "  --json <file>         write a machine-readable report\n"
       "  --trace <file>        write a Chrome/Perfetto trace (single method)\n"
       "  --list                list methods and exit\n");
@@ -74,12 +80,14 @@ struct Args {
   u32 ipt = 1;
   u64 seed = 0xC0FFEE;
   bool sites = false;
+  std::string sanitize;
   std::string json_path;
   std::string trace_path;
 };
 
-void run_one(const Args& a, const std::string& name, split::Method method,
-             sim::JsonWriter* jw) {
+/// Runs one method; returns the number of sanitizer errors found.
+u64 run_one(const Args& a, const std::string& name, split::Method method,
+            const sim::SanitizerConfig* scfg, sim::JsonWriter* jw) {
   workload::WorkloadConfig wc;
   wc.dist = kDists.at(a.dist);
   wc.m = a.m;
@@ -91,8 +99,10 @@ void run_one(const Args& a, const std::string& name, split::Method method,
   if (a.device == "750ti") prof = sim::DeviceProfile::gtx_750_ti();
   if (a.device == "sol") prof = sim::DeviceProfile::speed_of_light();
   sim::Device dev(prof);
+  if (scfg != nullptr) dev.sanitizer().configure(*scfg);
 
-  sim::DeviceBuffer<u32> in(dev, std::span<const u32>(host)), out(dev, n);
+  sim::DeviceBuffer<u32> in(dev, std::span<const u32>(host), "in"),
+      out(dev, n, "out");
   split::MultisplitConfig cfg;
   cfg.method = method;
   cfg.warps_per_block = a.nw;
@@ -102,8 +112,8 @@ void run_one(const Args& a, const std::string& name, split::Method method,
   try {
     if (a.kv) {
       const auto vals = workload::identity_values(n);
-      sim::DeviceBuffer<u32> vin(dev, std::span<const u32>(vals));
-      sim::DeviceBuffer<u32> kout(dev, n), vout(dev, n);
+      sim::DeviceBuffer<u32> vin(dev, std::span<const u32>(vals), "vin");
+      sim::DeviceBuffer<u32> kout(dev, n, "kout"), vout(dev, n, "vout");
       r = split::multisplit_pairs(dev, in, vin, kout, vout, a.m,
                                   split::RangeBucket{a.m}, cfg);
     } else {
@@ -113,7 +123,17 @@ void run_one(const Args& a, const std::string& name, split::Method method,
   } catch (const std::logic_error& e) {
     std::printf("%-16s unsupported for this configuration: %s\n", name.c_str(),
                 e.what());
-    return;
+    return dev.sanitizer().error_count();
+  }
+
+  if (const auto fault = dev.take_last_error()) {
+    // A launch was aborted mid-run (sanitizer armed, reporting mode); the
+    // timing summary would be meaningless, so print the fault instead.
+    std::printf("%-16s launch aborted by fault:\n%s", name.c_str(),
+                sim::format_fault(*fault).c_str());
+    const std::string rep = dev.sanitizer().format_reports();
+    if (!rep.empty()) std::printf("%s", rep.c_str());
+    return dev.sanitizer().error_count();
   }
 
   const auto& ev = r.summary.events;
@@ -179,6 +199,11 @@ void run_one(const Args& a, const std::string& name, split::Method method,
       std::printf("warning: could not write trace to '%s'\n",
                   a.trace_path.c_str());
   }
+  if (dev.sanitizer().any()) {
+    const std::string rep = dev.sanitizer().format_reports();
+    if (!rep.empty()) std::printf("%s", rep.c_str());
+  }
+  return dev.sanitizer().error_count();
 }
 
 }  // namespace
@@ -200,6 +225,8 @@ int main(int argc, char** argv) {
     else if (!std::strcmp(argv[i], "--ipt")) a.ipt = std::stoul(next());
     else if (!std::strcmp(argv[i], "--seed")) a.seed = std::stoull(next());
     else if (!std::strcmp(argv[i], "--sites")) a.sites = true;
+    else if (!std::strcmp(argv[i], "--sanitize")) a.sanitize = next();
+    else if (!std::strncmp(argv[i], "--sanitize=", 11)) a.sanitize = argv[i] + 11;
     else if (!std::strcmp(argv[i], "--json")) a.json_path = next();
     else if (!std::strcmp(argv[i], "--trace")) a.trace_path = next();
     else if (!std::strcmp(argv[i], "--list")) {
@@ -224,6 +251,17 @@ int main(int argc, char** argv) {
     std::printf("--trace needs a single --method (one trace per device)\n");
     return 1;
   }
+  std::optional<sim::SanitizerConfig> scfg;
+  if (!a.sanitize.empty()) {
+    scfg = sim::SanitizerConfig::parse(a.sanitize);
+    if (!scfg) {
+      std::printf("unknown sanitizer tool in '%s' (expected "
+                  "memcheck,racecheck,initcheck or all|none)\n",
+                  a.sanitize.c_str());
+      return 1;
+    }
+  }
+  const sim::SanitizerConfig* scfgp = scfg ? &*scfg : nullptr;
 
   std::ofstream json_out;
   std::optional<sim::JsonWriter> jw;
@@ -248,10 +286,12 @@ int main(int argc, char** argv) {
   std::printf("n = 2^%u, m = %u, %s, %s, %s\n\n", a.log2_n, a.m,
               a.dist.c_str(), a.kv ? "key-value" : "key-only",
               a.device.c_str());
+  u64 sanitizer_errors = 0;
   if (a.method == "all") {
-    for (const auto& [name, meth] : kMethods) run_one(a, name, meth, jwp);
+    for (const auto& [name, meth] : kMethods)
+      sanitizer_errors += run_one(a, name, meth, scfgp, jwp);
   } else if (kMethods.contains(a.method)) {
-    run_one(a, a.method, kMethods.at(a.method), jwp);
+    sanitizer_errors += run_one(a, a.method, kMethods.at(a.method), scfgp, jwp);
   } else {
     std::printf("unknown method '%s'\n", a.method.c_str());
     usage(argv[0]);
@@ -260,6 +300,11 @@ int main(int argc, char** argv) {
   if (jw) {
     jw->end_array().end_object();
     json_out << "\n";
+  }
+  if (sanitizer_errors > 0) {
+    std::printf("\nsanitizer: %llu error(s) across methods\n",
+                static_cast<unsigned long long>(sanitizer_errors));
+    return 1;
   }
   return 0;
 }
