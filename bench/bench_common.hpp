@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "multisplit/multisplit.hpp"
+#include "sim/metrics.hpp"
 #include "workload/distributions.hpp"
 
 namespace ms::bench {
@@ -164,13 +165,15 @@ Measurement measure(const Options& opt, Runner&& run_once) {
 
 /// Run one multisplit (key-only or key-value) on a fresh device.  When
 /// `sites_out` is given, the device's per-access-site counters are copied
-/// there; when the Options carry a --trace path, the first run in the
-/// process also writes its Chrome trace.
+/// there; when `metrics_out` is given, the full derived-metrics report of
+/// the run lands there (metrics.hpp); when the Options carry a --trace
+/// path, the first run in the process also writes its Chrome trace.
 inline split::MultisplitResult run_multisplit(
     const Options& opt, split::Method method, u32 m, bool key_value,
     workload::Distribution dist = workload::Distribution::kUniform,
     u64 seed_salt = 0, u32 warps_per_block = 8,
-    std::vector<sim::SiteStats>* sites_out = nullptr) {
+    std::vector<sim::SiteStats>* sites_out = nullptr,
+    sim::MetricsReport* metrics_out = nullptr) {
   workload::WorkloadConfig wc;
   wc.dist = dist;
   wc.m = m;
@@ -184,6 +187,7 @@ inline split::MultisplitResult run_multisplit(
   cfg.warps_per_block = warps_per_block;
   const auto finish = [&](split::MultisplitResult r) {
     if (sites_out != nullptr) *sites_out = dev.site_stats();
+    if (metrics_out != nullptr) *metrics_out = sim::analyze_device(dev);
     if (!opt.trace_path.empty() && !opt.trace_written)
       opt.trace_written = sim::write_chrome_trace_file(dev, opt.trace_path);
     return r;
@@ -238,6 +242,7 @@ class JsonReport {
     w_.emplace(out_);
     w_->begin_object();
     w_->field("bench", bench);
+    w_->field("schema_version", sim::kReportSchemaVersion);
     w_->field("device", opt.profile().name);
     w_->field("log2_n", opt.log2_n);
     w_->field("paper_log2_n", opt.paper_log2_n);
@@ -261,29 +266,16 @@ class JsonReport {
   std::optional<sim::JsonWriter> w_;
 };
 
-/// Emit the non-empty per-site counter slices as a JSON array: label, raw
-/// counters, and the derived coalescing efficiency of that site's global
-/// traffic (useful bytes / bytes moved in 32B sectors).
+/// Emit the non-empty per-site counter slices as a JSON array: label, all
+/// raw counters, and the site's counter-only derived metrics (coalescing,
+/// over-fetch, bank-conflict and divergence ratios -- see metrics.hpp).
 inline void write_site_array(sim::JsonWriter& w,
                              const std::vector<sim::SiteStats>& sites,
                              const sim::DeviceProfile& prof) {
   w.begin_array();
   for (const auto& s : sites) {
     if (s.events == sim::KernelEvents{}) continue;
-    const auto& e = s.events;
-    w.begin_object();
-    w.field("label", s.label);
-    w.field("issue_slots", e.issue_slots);
-    w.field("scatter_replays", e.scatter_replays);
-    w.field("smem_slots", e.smem_slots);
-    w.field("dram_read_tx", e.dram_read_tx);
-    w.field("dram_write_tx", e.dram_write_tx);
-    w.field("l2_read_segments", e.l2_read_segments);
-    w.field("l2_write_segments", e.l2_write_segments);
-    w.field("useful_bytes_read", e.useful_bytes_read);
-    w.field("useful_bytes_written", e.useful_bytes_written);
-    w.field("coalescing_pct", 100.0 * sim::coalescing_efficiency(e, prof));
-    w.end_object();
+    sim::write_site_json(w, s.label, s.events, prof);
   }
   w.end_array();
 }

@@ -24,10 +24,11 @@ void print_method_block(const Options& opt, JsonReport& report,
   for (int i = 0; i < 3; ++i) {
     const u32 m = kBuckets[i];
     std::vector<sim::SiteStats> sites;
+    sim::MetricsReport mrep;  // of the last trial (trials are identical)
     const Measurement meas = measure(opt, [&](u32 trial) {
       return run_multisplit(opt, method, m, kv,
                             workload::Distribution::kUniform, trial,
-                            /*warps_per_block=*/8, &sites);
+                            /*warps_per_block=*/8, &sites, &mrep);
     });
     std::printf(
         "%-22s %-4s m=%-3u  %7.2f %7.2f %7.2f | total %7.2f   (paper "
@@ -50,6 +51,7 @@ void print_method_block(const Options& opt, JsonReport& report,
       w.end_object();
       w.key("sites");
       write_site_array(w, sites, opt.profile());
+      sim::write_metrics_json(w, mrep);
       w.end_object();
     }
   }

@@ -48,10 +48,11 @@ int main(int argc, char** argv) {
       std::printf("%-18s ", row.name);
       for (const u32 m : buckets) {
         std::vector<sim::SiteStats> sites;
+        sim::MetricsReport mrep;  // of the last trial (trials are identical)
         const Measurement meas = measure(opt, [&](u32 trial) {
           return run_multisplit(opt, row.method, m, kv != 0,
                                 workload::Distribution::kUniform, trial,
-                                /*warps_per_block=*/8, &sites);
+                                /*warps_per_block=*/8, &sites, &mrep);
         });
         std::printf("%6.2f", meas.rate_gkeys);
         if (report.enabled()) {
@@ -69,6 +70,7 @@ int main(int argc, char** argv) {
           w.end_object();
           w.key("sites");
           write_site_array(w, sites, prof);
+          sim::write_metrics_json(w, mrep);
           w.end_object();
         }
       }

@@ -144,6 +144,7 @@ class Block {
     const u32 offset = used_;
     used_ += count * static_cast<u32>(sizeof(T));
     peak_ = std::max(peak_, used_);
+    dev_->note_smem_usage(peak_);
     if (used_ > arena_.size()) {
       arena_.resize(used_);
       if (shadow_ != nullptr) shadow_->resize(shadow_words(used_));
@@ -396,6 +397,8 @@ LaneArray<T> Warp::smem_read(const SharedArray<T>& arr,
                              const LaneArray<u32>& idx, LaneMask active) {
   LaneArray<T> out{};
   if (active == 0) return out;
+  count_simt(active);
+  dev_->events().smem_accesses += 1;
   dev_->events().smem_slots += detail::smem_conflict_degree(arr, idx, active);
   const bool sanitize = arr.block_ != nullptr && arr.block_->smem_shadow_armed();
   for_each_lane(active, [&](u32 lane) {
@@ -419,6 +422,8 @@ template <typename T>
 void Warp::smem_write(SharedArray<T>& arr, const LaneArray<u32>& idx,
                       const LaneArray<T>& v, LaneMask active) {
   if (active == 0) return;
+  count_simt(active);
+  dev_->events().smem_accesses += 1;
   dev_->events().smem_slots += detail::smem_conflict_degree(arr, idx, active);
   const bool sanitize = arr.block_ != nullptr && arr.block_->smem_shadow_armed();
   for_each_lane(active, [&](u32 lane) {
@@ -443,6 +448,8 @@ LaneArray<T> Warp::smem_atomic_add(SharedArray<T>& arr,
                                    const LaneArray<T>& v, LaneMask active) {
   LaneArray<T> out{};
   if (active == 0) return out;
+  count_simt(active);
+  dev_->events().smem_accesses += 1;
   // Shared atomics serialize on address collisions.
   const u32 n_active = static_cast<u32>(std::popcount(active));
   u32 distinct = 0;

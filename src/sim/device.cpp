@@ -28,6 +28,7 @@ void Device::begin_kernel(std::string name) {
   current_ = KernelEvents{};
   site_snapshot_ = KernelEvents{};
   kernel_sites_.clear();
+  current_peak_smem_ = 0;
   current_name_ = std::move(name);
 }
 
@@ -53,6 +54,7 @@ const KernelRecord& Device::end_kernel() {
   rec.events = current_;
   rec.faulted = pending_fault_;
   pending_fault_ = false;
+  rec.peak_smem_bytes = current_peak_smem_;
   std::sort(kernel_sites_.begin(), kernel_sites_.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
   rec.sites = std::move(kernel_sites_);

@@ -8,6 +8,7 @@
 // the cost model converts the counters into modeled time.
 #pragma once
 
+#include <algorithm>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -71,6 +72,13 @@ class Device {
   void touch_read_sector(u64 sector);
   void touch_write_sector(u64 sector);
 
+  /// Record a block's shared-memory footprint (called by Block::shared);
+  /// the maximum across the kernel's blocks lands in
+  /// KernelRecord::peak_smem_bytes for the occupancy proxy.
+  void note_smem_usage(u32 bytes) {
+    current_peak_smem_ = std::max(current_peak_smem_, bytes);
+  }
+
   // --- kernel log / timing sections ---
   const std::vector<KernelRecord>& records() const { return records_; }
   void clear_records() { records_.clear(); }
@@ -118,6 +126,7 @@ class Device {
   bool pending_fault_ = false;
   KernelEvents current_;
   std::string current_name_;
+  u32 current_peak_smem_ = 0;
   bool in_kernel_ = false;
   u64 next_addr_ = 0;
   std::vector<KernelRecord> records_;

@@ -45,6 +45,24 @@ struct KernelEvents {
   u64 atomic_ops = 0;
   u64 atomic_conflicts = 0;
 
+  // --- SIMT divergence counters (metrics.hpp derives the active-lane
+  // fraction from these) ---
+  /// Warp-wide instructions that carry an explicit active-lane mask:
+  /// ballot/any/all, all shfl variants, popc, and every global or shared
+  /// memory instruction.  Uniform bookkeeping charged via Warp::charge() is
+  /// deliberately excluded (it models already-converged scalar work).
+  u64 simt_insts = 0;
+  /// Total active lanes across those instructions; a full warp contributes
+  /// 32.  active-lane fraction = simt_active_lanes / (32 * simt_insts).
+  u64 simt_active_lanes = 0;
+  /// Ballot instructions executed (the paper's per-bucket histogram loop is
+  /// one ballot per bucket per round, so this counts its warp-level work).
+  u64 ballot_rounds = 0;
+  /// Warp-wide shared-memory instructions (each contributes >= 1
+  /// smem_slots; the excess is bank-conflict / RMW serialization, so
+  /// smem_slots / smem_accesses is the average serialization degree).
+  u64 smem_accesses = 0;
+
   KernelEvents& operator+=(const KernelEvents& o) {
     issue_slots += o.issue_slots;
     scatter_replays += o.scatter_replays;
@@ -60,6 +78,10 @@ struct KernelEvents {
     barriers += o.barriers;
     atomic_ops += o.atomic_ops;
     atomic_conflicts += o.atomic_conflicts;
+    simt_insts += o.simt_insts;
+    simt_active_lanes += o.simt_active_lanes;
+    ballot_rounds += o.ballot_rounds;
+    smem_accesses += o.smem_accesses;
     return *this;
   }
 
@@ -81,6 +103,10 @@ struct KernelEvents {
     barriers -= o.barriers;
     atomic_ops -= o.atomic_ops;
     atomic_conflicts -= o.atomic_conflicts;
+    simt_insts -= o.simt_insts;
+    simt_active_lanes -= o.simt_active_lanes;
+    ballot_rounds -= o.ballot_rounds;
+    smem_accesses -= o.smem_accesses;
     return *this;
   }
 
@@ -103,6 +129,11 @@ struct KernelRecord {
   /// True when the launch was cut short by a fatal fault (see
   /// sanitizer.hpp); events and time cover only what ran.
   bool faulted = false;
+  /// Largest per-block shared-memory footprint any block of this kernel
+  /// allocated (0 for warp-granularity kernels).  Input to the
+  /// shared-memory-limited occupancy proxy in metrics.hpp; deliberately a
+  /// max, not a counter, so it lives here instead of in KernelEvents.
+  u32 peak_smem_bytes = 0;
   /// Per-access-site attribution of `events` for this kernel: (site id,
   /// counter slice) pairs for every site touched while it ran.  The slices
   /// partition `events` exactly -- summing them reproduces the totals (the

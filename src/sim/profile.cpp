@@ -36,6 +36,7 @@ DeviceProfile DeviceProfile::gtx_750_ti() {
   // Fewer resident warps and a shallower memory pipeline: scattered access
   // latency is hidden less well than on the K40c (paper Section 6.3).
   p.scatter_issue_penalty = 2.0;
+  p.max_resident_blocks = 32;
   return p;
 }
 

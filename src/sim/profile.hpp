@@ -62,6 +62,12 @@ struct DeviceProfile {
   /// Shared memory capacity per block in bytes (48 kB on both boards).
   u32 smem_bytes_per_block = 48 * 1024;
 
+  /// Maximum blocks resident per SM when nothing else limits them (16 on
+  /// Kepler, 32 on Maxwell).  The metrics layer's shared-memory-limited
+  /// occupancy proxy compares floor(smem_capacity / peak_smem) against
+  /// this ceiling.
+  u32 max_resident_blocks = 16;
+
   static DeviceProfile tesla_k40c();
   static DeviceProfile gtx_750_ti();
   static DeviceProfile speed_of_light();

@@ -11,6 +11,7 @@
 #include "sim/json.hpp"
 #include "sim/kernel.hpp"
 #include "sim/memory.hpp"
+#include "sim/metrics.hpp"
 #include "sim/profile.hpp"
 #include "sim/sanitizer.hpp"
 #include "sim/trace.hpp"

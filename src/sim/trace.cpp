@@ -6,6 +6,7 @@
 #include "sim/cost_model.hpp"
 #include "sim/device.hpp"
 #include "sim/json.hpp"
+#include "sim/metrics.hpp"
 
 namespace ms::sim {
 
@@ -149,10 +150,35 @@ void write_chrome_trace(Device& dev, std::ostream& os) {
     counter_event(w, "achieved GB/s", ts);
     w.key("args").begin_object().field("gbps", achieved_bandwidth_gbps(r));
     w.end_object().end_object();
+
+    // Derived-metric counter tracks (metrics.hpp): each kernel contributes
+    // one sample at its modeled start, so the tracks step along the same
+    // timeline as the kernel slices.
+    const DerivedMetrics dm =
+        derive_run_metrics(r.events, r.time_ms, r.mem_time_ms,
+                           r.issue_time_ms, 1, r.peak_smem_bytes, prof);
+    counter_event(w, "speed of light %", ts);
+    w.key("args").begin_object().field("mem", dm.sol_mem_pct).field(
+        "issue", dm.sol_issue_pct);
+    w.end_object().end_object();
+    counter_event(w, "coalescing %", ts);
+    w.key("args").begin_object().field("pct", dm.coalescing_pct);
+    w.end_object().end_object();
+    counter_event(w, "active lanes %", ts);
+    w.key("args").begin_object().field("pct", dm.active_lane_pct);
+    w.end_object().end_object();
   }
   if (!records.empty()) {
-    counter_event(w, "achieved GB/s", start_us[records.size()]);
+    const f64 end = start_us[records.size()];
+    counter_event(w, "achieved GB/s", end);
     w.key("args").begin_object().field("gbps", 0.0).end_object().end_object();
+    counter_event(w, "speed of light %", end);
+    w.key("args").begin_object().field("mem", 0.0).field("issue", 0.0);
+    w.end_object().end_object();
+    counter_event(w, "coalescing %", end);
+    w.key("args").begin_object().field("pct", 0.0).end_object().end_object();
+    counter_event(w, "active lanes %", end);
+    w.key("args").begin_object().field("pct", 0.0).end_object().end_object();
   }
 
   w.end_array();  // traceEvents

@@ -48,7 +48,9 @@ class Warp {
 
   /// Charge `slots` warp-instruction issue slots of plain arithmetic.
   /// Algorithms call this for the address/bookkeeping math that the
-  /// simulator does not see as an intrinsic.
+  /// simulator does not see as an intrinsic.  Deliberately not counted as a
+  /// SIMT instruction: the mask-carrying intrinsics and memory ops below
+  /// are the divergence-visible instruction stream.
   void charge(u64 slots) { dev_->events().issue_slots += slots; }
 
   // ---------------------------------------------------------------- ballot
@@ -56,6 +58,8 @@ class Warp {
   /// inactive lanes contribute 0.
   LaneMask ballot(const LaneArray<u32>& pred, LaneMask active = kFullMask) {
     dev_->events().issue_slots += 1;
+    dev_->events().ballot_rounds += 1;
+    count_simt(active);
     LaneMask out = 0;
     for_each_lane(active, [&](u32 lane) {
       if (pred[lane] != 0) out |= (1u << lane);
@@ -66,6 +70,7 @@ class Warp {
   /// CUDA __any: true if any active lane's predicate is non-zero.
   bool any(const LaneArray<u32>& pred, LaneMask active = kFullMask) {
     dev_->events().issue_slots += 1;
+    count_simt(active);
     bool out = false;
     for_each_lane(active, [&](u32 lane) { out |= (pred[lane] != 0); });
     return out;
@@ -74,6 +79,7 @@ class Warp {
   /// CUDA __all: true if every active lane's predicate is non-zero.
   bool all(const LaneArray<u32>& pred, LaneMask active = kFullMask) {
     dev_->events().issue_slots += 1;
+    count_simt(active);
     bool out = true;
     for_each_lane(active, [&](u32 lane) { out &= (pred[lane] != 0); });
     return out;
@@ -85,6 +91,7 @@ class Warp {
   LaneArray<T> shfl(const LaneArray<T>& v, const LaneArray<u32>& src,
                     LaneMask active = kFullMask) {
     dev_->events().issue_slots += 1;
+    count_simt(active);
     LaneArray<T> out = v;
     for_each_lane(active, [&](u32 lane) { out[lane] = v[src[lane] % kWarpSize]; });
     return out;
@@ -95,6 +102,7 @@ class Warp {
   LaneArray<T> shfl(const LaneArray<T>& v, u32 src_lane,
                     LaneMask active = kFullMask) {
     dev_->events().issue_slots += 1;
+    count_simt(active);
     LaneArray<T> out = v;
     for_each_lane(active,
                   [&](u32 lane) { out[lane] = v[src_lane % kWarpSize]; });
@@ -107,6 +115,7 @@ class Warp {
   LaneArray<T> shfl_up(const LaneArray<T>& v, u32 delta,
                        LaneMask active = kFullMask) {
     dev_->events().issue_slots += 1;
+    count_simt(active);
     LaneArray<T> out = v;
     for_each_lane(active, [&](u32 lane) {
       if (lane >= delta) out[lane] = v[lane - delta];
@@ -119,6 +128,7 @@ class Warp {
   LaneArray<T> shfl_down(const LaneArray<T>& v, u32 delta,
                          LaneMask active = kFullMask) {
     dev_->events().issue_slots += 1;
+    count_simt(active);
     LaneArray<T> out = v;
     for_each_lane(active, [&](u32 lane) {
       if (lane + delta < kWarpSize) out[lane] = v[lane + delta];
@@ -131,6 +141,7 @@ class Warp {
   LaneArray<T> shfl_xor(const LaneArray<T>& v, u32 mask,
                         LaneMask active = kFullMask) {
     dev_->events().issue_slots += 1;
+    count_simt(active);
     LaneArray<T> out = v;
     for_each_lane(active,
                   [&](u32 lane) { out[lane] = v[(lane ^ mask) % kWarpSize]; });
@@ -141,6 +152,7 @@ class Warp {
   /// Per-lane __popc on a warp register.
   LaneArray<u32> popc(const LaneArray<u32>& v) {
     dev_->events().issue_slots += 1;
+    count_simt(kFullMask);  // per-lane op, no mask form
     return v.map([](u32 x) { return static_cast<u32>(std::popcount(x)); });
   }
 
@@ -151,6 +163,7 @@ class Warp {
                     LaneMask active = kFullMask) {
     LaneArray<T> out{};
     if (active == 0) return out;
+    count_simt(active);
     charge_contiguous</*is_write=*/false, T>(buf, base, active);
     for_each_lane(active, [&](u32 lane) {
       bounds_check(buf, base + lane, lane, "unit-stride load");
@@ -165,6 +178,7 @@ class Warp {
   void store(DeviceBuffer<T>& buf, u64 base, const LaneArray<T>& v,
              LaneMask active = kFullMask) {
     if (active == 0) return;
+    count_simt(active);
     charge_contiguous</*is_write=*/true, T>(buf, base, active);
     GlobalShadow* sh = buf.init_shadow();
     for_each_lane(active, [&](u32 lane) {
@@ -180,6 +194,7 @@ class Warp {
                       LaneMask active = kFullMask) {
     LaneArray<T> out{};
     if (active == 0) return out;
+    count_simt(active);
     charge_scattered</*is_write=*/false, T>(buf, idx, active);
     for_each_lane(active, [&](u32 lane) {
       bounds_check(buf, idx[lane], lane, "gather");
@@ -194,6 +209,7 @@ class Warp {
   void scatter(DeviceBuffer<T>& buf, const LaneArray<u64>& idx,
                const LaneArray<T>& v, LaneMask active = kFullMask) {
     if (active == 0) return;
+    count_simt(active);
     charge_scattered</*is_write=*/true, T>(buf, idx, active);
     GlobalShadow* sh = buf.init_shadow();
     for_each_lane(active, [&](u32 lane) {
@@ -211,6 +227,7 @@ class Warp {
                           const LaneArray<T>& v, LaneMask active = kFullMask) {
     LaneArray<T> out{};
     if (active == 0) return out;
+    count_simt(active);
     charge_scattered</*is_write=*/true, T>(buf, idx, active);
     // Reads the old value too.
     charge_scattered</*is_write=*/false, T>(buf, idx, active);
@@ -247,6 +264,7 @@ class Warp {
                           const LaneArray<T>& v, LaneMask active = kFullMask) {
     LaneArray<T> out{};
     if (active == 0) return out;
+    count_simt(active);
     charge_scattered</*is_write=*/true, T>(buf, idx, active);
     charge_scattered</*is_write=*/false, T>(buf, idx, active);
     const u32 n_active = static_cast<u32>(std::popcount(active));
@@ -288,6 +306,16 @@ class Warp {
                                LaneMask active = kFullMask);
 
  private:
+  /// Divergence accounting: one SIMT instruction with popcount(active)
+  /// live lanes.  Called once per mask-carrying intrinsic or memory
+  /// instruction (an atomic RMW counts once even though its read and
+  /// write passes are charged separately).
+  void count_simt(LaneMask active) {
+    auto& ev = dev_->events();
+    ev.simt_insts += 1;
+    ev.simt_active_lanes += static_cast<u64>(std::popcount(active));
+  }
+
   /// Build the common part of a fault context for a global access from
   /// this warp.
   template <typename T>

@@ -188,6 +188,95 @@ TEST(ProfileRegion, MultisplitStagesSumToKernelTotal) {
   EXPECT_EQ(r.summary.kernels, dev.records().size());
 }
 
+// ---------------------------------------------------------------------------
+// Exception safety: a SimError thrown mid-kernel (OOB access) unwinds any
+// in-kernel ScopedSite scopes, so the attribution stack is restored and
+// later launches cannot be misattributed to the site that was live at the
+// fault.
+// ---------------------------------------------------------------------------
+
+TEST(SiteAttribution, FaultMidKernelRestoresSiteStack) {
+  Device dev;
+  SanitizerConfig cfg;
+  cfg.memcheck = true;  // reporting mode: the launch swallows the fault
+  dev.sanitizer().configure(cfg);
+  DeviceBuffer<u32> buf(dev, 64);
+  buf.fill(0);
+  const SiteId good = dev.site_id("test/good");
+  const SiteId bad = dev.site_id("test/bad");
+
+  launch_warps(dev, "faulty", 1, [&](Warp& w, u64) {
+    ScopedSite outer(dev, good);
+    w.store(buf, 0, LaneArray<u32>::filled(1), kFullMask);
+    ScopedSite inner(dev, bad);
+    const auto oob =
+        Warp::lane_id().map([](u32 l) { return u64{l} + 1000; });
+    w.scatter(buf, oob, LaneArray<u32>::filled(2), kFullMask);
+    ADD_FAILURE() << "the OOB scatter must abort the kernel";
+  });
+
+  // Both nested scopes were unwound; the device is back at "other".
+  EXPECT_EQ(dev.current_site(), kSiteOther);
+  ASSERT_TRUE(dev.last_error().has_value());
+  ASSERT_EQ(dev.records().size(), 1u);
+  EXPECT_TRUE(dev.records()[0].faulted);
+  // What the aborted kernel did charge is still partitioned exactly.
+  expect_exact_partition(dev);
+
+  // A later clean launch must not leak counters into the faulted site.
+  const KernelEvents bad_before = dev.site_stats()[bad].events;
+  launch_warps(dev, "clean", 1, [&](Warp& w, u64) {
+    ScopedSite site(dev, good);
+    (void)w.load(buf, 0, kFullMask);
+  });
+  ASSERT_EQ(dev.records().size(), 2u);
+  EXPECT_FALSE(dev.records()[1].faulted);
+  expect_exact_partition(dev);
+  EXPECT_EQ(dev.site_stats()[bad].events, bad_before);
+}
+
+TEST(SiteAttribution, FaultPropagatedToCallerStillRestoresSite) {
+  Device dev;  // sanitizer disabled: launch_warps rethrows the SimError
+  DeviceBuffer<u32> buf(dev, 32);
+  buf.fill(0);
+  const SiteId site = dev.site_id("test/site");
+  EXPECT_THROW(
+      launch_warps(dev, "faulty", 1,
+                   [&](Warp& w, u64) {
+                     ScopedSite s(dev, site);
+                     const auto oob = Warp::lane_id().map(
+                         [](u32 l) { return u64{l} + 100; });
+                     w.scatter(buf, oob, LaneArray<u32>::filled(1),
+                               kFullMask);
+                   }),
+      SimError);
+  EXPECT_EQ(dev.current_site(), kSiteOther);
+  // end_kernel still ran: the aborted launch has a (faulted) record and
+  // the device stays usable for further launches.
+  ASSERT_EQ(dev.records().size(), 1u);
+  EXPECT_TRUE(dev.records()[0].faulted);
+  device_fill<u32>(dev, buf, 3);
+  expect_exact_partition(dev);
+}
+
+TEST(ProfileRegion, ClosesAcrossFaultedLaunch) {
+  Device dev;
+  SanitizerConfig cfg;
+  cfg.memcheck = true;  // reporting mode
+  dev.sanitizer().configure(cfg);
+  ProfileRegion region(dev, "test/faulted_stage");
+  inject::oob_scatter(dev);  // aborted launch, swallowed by the sanitizer
+  DeviceBuffer<u32> buf(dev, 1024);
+  device_fill<u32>(dev, buf, 1);
+  const TimingSummary s = region.end();
+  // The faulted launch still closed its record, so the region spans both.
+  EXPECT_EQ(s.kernels, 2u);
+  ASSERT_EQ(dev.regions().size(), 1u);
+  EXPECT_EQ(dev.regions()[0].first_kernel, 0u);
+  EXPECT_EQ(dev.regions()[0].end_kernel, 2u);
+  expect_exact_partition(dev);
+}
+
 TEST(SiteAttribution, ResetStatsZeroesCountersKeepsLabels) {
   Device dev;
   const SiteId site = dev.site_id("sticky");

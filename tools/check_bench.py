@@ -2,17 +2,24 @@
 """Regression gate for the simulator's modeled performance.
 
 Runs a bench binary with --json at the baseline's recorded problem size and
-compares every (method, m, key_value) rate against the committed baseline,
-failing on relative drift beyond the tolerance.  The simulator is fully
-deterministic, so drift means the cost model or an implementation changed;
-rerun
+compares every (method, m, key_value) headline metric against the committed
+baseline, failing on relative drift beyond the tolerance.  With --sites the
+per-site counter slices are compared too (matched by label, exact integer
+comparison regardless of tolerance) -- that is the tolerance-0 gate on the
+table4 stage-breakdown baseline.
+
+The simulator is fully deterministic, so drift means the cost model or an
+implementation changed; rerun
 
     build/bench/table5_rates --n <log2_n> --trials <trials> \
         --json bench/baselines/table5_rates_n14.json
 
 and commit the new file together with the change that explains it.
 
-Usage: check_bench.py <bench-binary> <baseline.json> [tolerance]
+Reports carry a schema_version; a baseline written by a different schema is
+rejected (regenerate it) rather than silently mis-compared.
+
+Usage: check_bench.py <bench-binary> <baseline.json> [tolerance] [--sites]
 """
 
 import json
@@ -20,6 +27,28 @@ import subprocess
 import sys
 import tempfile
 from pathlib import Path
+
+# Must match kReportSchemaVersion in src/sim/metrics.hpp.
+SCHEMA_VERSION = 2
+
+# Per-site counters compared exactly under --sites.  Integer event counts:
+# any deviation is a real behavior change, never rounding.
+SITE_COUNTERS = [
+    "issue_slots", "scatter_replays", "smem_slots",
+    "dram_read_tx", "dram_write_tx",
+    "l2_read_segments", "l2_write_segments",
+    "useful_bytes_read", "useful_bytes_written",
+    "simt_insts", "simt_active_lanes", "ballot_rounds", "smem_accesses",
+]
+
+
+def check_schema(doc, name):
+    version = doc.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise SystemExit(
+            f"FAIL: {name} has schema_version {version!r}, this checker "
+            f"reads {SCHEMA_VERSION}; regenerate the report with the "
+            f"current build")
 
 
 def load_results(doc):
@@ -33,15 +62,44 @@ def load_results(doc):
     return out
 
 
+def headline(row):
+    """The row's headline metric: throughput when present, time otherwise
+    (the table4 stage-breakdown report has no rate column)."""
+    if "rate_gkeys" in row:
+        return row["rate_gkeys"], "Gkeys/s"
+    return row["total_ms"], "ms"
+
+
+def compare_sites(key, base_row, cur_row, failures):
+    base_sites = {s["label"]: s for s in base_row.get("sites", [])}
+    cur_sites = {s["label"]: s for s in cur_row.get("sites", [])}
+    for label, base_site in base_sites.items():
+        cur_site = cur_sites.get(label)
+        if cur_site is None:
+            failures.append(f"{key} site '{label}': missing from current run")
+            continue
+        for counter in SITE_COUNTERS:
+            want, got = base_site.get(counter), cur_site.get(counter)
+            if want != got:
+                failures.append(
+                    f"{key} site '{label}' {counter}: "
+                    f"baseline {want} current {got}")
+    for label in cur_sites.keys() - base_sites.keys():
+        failures.append(f"{key} site '{label}': not in baseline")
+
+
 def main():
-    if len(sys.argv) not in (3, 4):
+    args = [a for a in sys.argv[1:] if a != "--sites"]
+    check_sites = "--sites" in sys.argv[1:]
+    if len(args) not in (2, 3):
         print(__doc__, file=sys.stderr)
         return 2
-    bench = Path(sys.argv[1])
-    baseline_path = Path(sys.argv[2])
-    tolerance = float(sys.argv[3]) if len(sys.argv) == 4 else 0.10
+    bench = Path(args[0])
+    baseline_path = Path(args[1])
+    tolerance = float(args[2]) if len(args) == 3 else 0.10
 
     baseline = json.loads(baseline_path.read_text())
+    check_schema(baseline, str(baseline_path))
     with tempfile.TemporaryDirectory() as tmp:
         out_path = Path(tmp) / "current.json"
         cmd = [
@@ -55,6 +113,7 @@ def main():
             print(f"FAIL: {' '.join(cmd)} exited {proc.returncode}")
             return 1
         current = json.loads(out_path.read_text())
+    check_schema(current, "current run")
 
     if current["device"] != baseline["device"]:
         print(f"FAIL: device changed: {baseline['device']} -> "
@@ -69,27 +128,31 @@ def main():
         if cur is None:
             failures.append(f"{key}: missing from current run")
             continue
-        want, got = base["rate_gkeys"], cur["rate_gkeys"]
+        want, unit = headline(base)
+        got, _ = headline(cur)
         drift = abs(got - want) / want
         status = "ok" if drift <= tolerance else "DRIFT"
         method, m, kv = key
         print(f"{status:5} {method:<18} m={m:<3} {'kv' if kv else 'key':<3} "
-              f"baseline {want:6.2f} current {got:6.2f} Gkeys/s "
+              f"baseline {want:6.2f} current {got:6.2f} {unit} "
               f"({drift * 100:+.1f}%)")
         if drift > tolerance:
             failures.append(
-                f"{key}: {want:.3f} -> {got:.3f} Gkeys/s "
+                f"{key}: {want:.3f} -> {got:.3f} {unit} "
                 f"({drift * 100:.1f}% > {tolerance * 100:.0f}%)")
+        if check_sites:
+            compare_sites(key, base, cur, failures)
     for key in cur_rows.keys() - base_rows.keys():
         print(f"note: {key} not in baseline (new configuration)")
 
     if failures:
-        print(f"\nFAIL: {len(failures)} configuration(s) drifted:")
+        print(f"\nFAIL: {len(failures)} comparison(s) drifted:")
         for f in failures:
             print(f"  {f}")
         return 1
     print(f"\nOK: {len(base_rows)} configurations within "
-          f"{tolerance * 100:.0f}% of baseline")
+          f"{tolerance * 100:.0f}% of baseline"
+          + (", per-site counters exact" if check_sites else ""))
     return 0
 
 

@@ -7,21 +7,30 @@
 //   $ ms_cli --method warp --m 32 --trace out.json   # Perfetto timeline
 //   $ ms_cli --method all --sites                    # per-site counters
 //   $ ms_cli --method all --sanitize=memcheck,racecheck,initcheck
+//   $ ms_cli metrics --method warp --m 32          # nsight-style report
+//   $ ms_cli diff base.json cur.json               # run-diff regression gate
 //   $ ms_cli --list
 //
 // With --sanitize, runs continue past faults (the compute-sanitizer model:
 // a faulting launch is aborted and recorded, later launches proceed) and a
 // report is printed per method; the exit code is 1 if any errors were found.
+//
+// `diff` compares two --json reports (from ms_cli or the benches)
+// value-by-value with exact matching by default; exit 0 = no drift,
+// 1 = drift found, 2 = unusable input (bad file / schema mismatch).
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <map>
 #include <optional>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "multisplit/multisplit.hpp"
 #include "multisplit/sort_baselines.hpp"
 #include "sim/cost_model.hpp"
+#include "sim/metrics.hpp"
 #include "workload/distributions.hpp"
 
 using namespace ms;
@@ -66,7 +75,13 @@ void usage(const char* argv0) {
       "  --sanitize <tools>    memcheck,racecheck,initcheck (or all|none)\n"
       "  --json <file>         write a machine-readable report\n"
       "  --trace <file>        write a Chrome/Perfetto trace (single method)\n"
-      "  --list                list methods and exit\n");
+      "  --list                list methods and exit\n"
+      "subcommands:\n"
+      "  metrics [options]     run and print the derived-metrics report\n"
+      "                        (speed of light, coalescing, divergence,\n"
+      "                        guided analysis)\n"
+      "  diff <baseline.json> <current.json> [--tolerance <pct>]\n"
+      "       [--json <file>]  compare two reports; exit 1 on drift\n");
 }
 
 struct Args {
@@ -80,6 +95,7 @@ struct Args {
   u32 ipt = 1;
   u64 seed = 0xC0FFEE;
   bool sites = false;
+  bool metrics = false;
   std::string sanitize;
   std::string json_path;
   std::string trace_path;
@@ -161,13 +177,17 @@ u64 run_one(const Args& a, const std::string& name, split::Method method,
                   100.0 * sim::coalescing_efficiency(s.events, dev.profile()));
     }
   }
+  sim::MetricsReport mrep = sim::analyze_device(dev);
+  if (a.metrics) std::printf("\n%s\n", sim::format_metrics(mrep).c_str());
   if (jw != nullptr) {
     auto& w = *jw;
     w.begin_object();
     w.field("method", name);
     w.field("total_ms", r.total_ms());
     w.field("rate_gkeys", static_cast<f64>(n) / (r.total_ms() * 1e6));
-    w.field("kernels", r.summary.kernels);
+    // "kernel_launches", not "kernels": write_metrics_json below emits the
+    // per-kernel-group "kernels" array and JSON keys must stay unique.
+    w.field("kernel_launches", r.summary.kernels);
     w.key("stages").begin_object();
     w.field("prescan_ms", r.stages.prescan_ms);
     w.field("scan_ms", r.stages.scan_ms);
@@ -178,20 +198,10 @@ u64 run_one(const Args& a, const std::string& name, split::Method method,
     w.key("sites").begin_array();
     for (const auto& s : sites) {
       if (s.events == sim::KernelEvents{}) continue;
-      w.begin_object();
-      w.field("label", s.label);
-      w.field("issue_slots", s.events.issue_slots);
-      w.field("scatter_replays", s.events.scatter_replays);
-      w.field("smem_slots", s.events.smem_slots);
-      w.field("dram_read_tx", s.events.dram_read_tx);
-      w.field("dram_write_tx", s.events.dram_write_tx);
-      w.field("useful_bytes_read", s.events.useful_bytes_read);
-      w.field("useful_bytes_written", s.events.useful_bytes_written);
-      w.field("coalescing_pct",
-              100.0 * sim::coalescing_efficiency(s.events, dev.profile()));
-      w.end_object();
+      sim::write_site_json(w, s.label, s.events, dev.profile());
     }
     w.end_array();
+    sim::write_metrics_json(w, mrep);
     w.end_object();
   }
   if (!a.trace_path.empty()) {
@@ -206,11 +216,131 @@ u64 run_one(const Args& a, const std::string& name, split::Method method,
   return dev.sanitizer().error_count();
 }
 
+std::optional<std::string> read_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) return std::nullopt;
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  return ss.str();
+}
+
+/// `ms_cli diff <baseline.json> <current.json>`: the run-diff regression
+/// gate.  Exit 0 = reports match (within --tolerance), 1 = drift found,
+/// 2 = unusable input.
+int cmd_diff(int argc, char** argv) {
+  std::vector<std::string> paths;
+  sim::DiffOptions opts;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const auto next = [&] {
+      check(i + 1 < argc, "missing argument value");
+      return std::string(argv[++i]);
+    };
+    if (!std::strcmp(argv[i], "--tolerance")) {
+      opts.tolerance = std::stod(next()) / 100.0;
+    } else if (!std::strcmp(argv[i], "--json")) {
+      json_path = next();
+    } else if (argv[i][0] == '-') {
+      std::printf("diff: unknown option '%s'\n", argv[i]);
+      return 2;
+    } else {
+      paths.push_back(argv[i]);
+    }
+  }
+  if (paths.size() != 2) {
+    std::printf("usage: ms_cli diff <baseline.json> <current.json> "
+                "[--tolerance <pct>] [--json <file>]\n");
+    return 2;
+  }
+
+  sim::JsonValue base, cur;
+  try {
+    for (int side = 0; side < 2; ++side) {
+      const auto text = read_file(paths[side]);
+      if (!text) {
+        std::printf("diff: cannot read '%s'\n", paths[side].c_str());
+        return 2;
+      }
+      (side == 0 ? base : cur) = sim::parse_json(*text);
+    }
+  } catch (const std::runtime_error& e) {
+    std::printf("diff: malformed JSON: %s\n", e.what());
+    return 2;
+  }
+
+  sim::DiffResult res;
+  try {
+    res = sim::diff_reports(base, cur, opts);
+  } catch (const std::runtime_error& e) {
+    std::printf("diff: %s\n", e.what());
+    return 2;
+  }
+
+  std::printf("comparing baseline %s vs current %s (schema v%u, tolerance "
+              "%g%%)\n",
+              paths[0].c_str(), paths[1].c_str(), sim::kReportSchemaVersion,
+              opts.tolerance * 100.0);
+  for (const auto& f : res.findings) {
+    std::printf("  DRIFT %s: %s\n", f.path.c_str(), f.note.c_str());
+  }
+  if (res.total_findings > res.findings.size()) {
+    std::printf("  ... (%llu more finding(s) suppressed)\n",
+                static_cast<unsigned long long>(res.total_findings -
+                                                res.findings.size()));
+  }
+
+  if (!json_path.empty()) {
+    std::ofstream os(json_path);
+    if (!os) {
+      std::printf("diff: cannot open '%s' for writing\n", json_path.c_str());
+      return 2;
+    }
+    sim::JsonWriter w(os);
+    w.begin_object();
+    w.field("tool", "ms_cli diff");
+    w.field("schema_version", sim::kReportSchemaVersion);
+    w.field("baseline", paths[0]);
+    w.field("current", paths[1]);
+    w.field("tolerance_pct", opts.tolerance * 100.0);
+    w.field("values_compared", res.values_compared);
+    w.field("total_findings", res.total_findings);
+    w.key("findings").begin_array();
+    for (const auto& f : res.findings) {
+      w.begin_object();
+      w.field("path", f.path);
+      w.field("note", f.note);
+      w.field("drift", f.drift);
+      w.end_object();
+    }
+    w.end_array().end_object();
+    os << "\n";
+  }
+
+  if (res.total_findings > 0) {
+    std::printf("ms_cli diff: FAIL -- %llu finding(s) across %llu compared "
+                "values\n",
+                static_cast<unsigned long long>(res.total_findings),
+                static_cast<unsigned long long>(res.values_compared));
+    return 1;
+  }
+  std::printf("ms_cli diff: OK -- %llu values compared, zero drift\n",
+              static_cast<unsigned long long>(res.values_compared));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc > 1 && !std::strcmp(argv[1], "diff")) {
+    return cmd_diff(argc - 1, argv + 1);
+  }
   Args a;
-  for (int i = 1; i < argc; ++i) {
+  int argi = 1;
+  if (argc > 1 && !std::strcmp(argv[1], "metrics")) {
+    a.metrics = true;
+    argi = 2;
+  }
+  for (int i = argi; i < argc; ++i) {
     const auto next = [&] {
       check(i + 1 < argc, "missing argument value");
       return std::string(argv[++i]);
@@ -274,6 +404,7 @@ int main(int argc, char** argv) {
     jw.emplace(json_out);
     jw->begin_object();
     jw->field("tool", "ms_cli");
+    jw->field("schema_version", sim::kReportSchemaVersion);
     jw->field("log2_n", a.log2_n);
     jw->field("m", a.m);
     jw->field("dist", a.dist);
