@@ -10,6 +10,7 @@
 // profiles, and `--trials <k>` to average over several input seeds.
 #pragma once
 
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -31,6 +32,10 @@ struct Options {
   std::string device = "k40c";
   u32 trials = 1;
   bool full = false;
+  /// --host-threads <k>: simulator worker threads (0 = keep the process
+  /// default: MS_HOST_THREADS env or the hardware concurrency).  Changes
+  /// host wall-clock only; modeled results are bit-identical by design.
+  u32 host_threads = 0;
   std::string json_path;   // --json <file>: machine-readable report
   std::string trace_path;  // --trace <file>: Chrome trace of the first run
   /// Set once the first run has emitted its trace (only one run per process
@@ -72,6 +77,15 @@ struct Options {
         }
       } else if (!std::strcmp(argv[i], "--trials")) {
         o.trials = static_cast<u32>(std::atoi(value("--trials")));
+      } else if (!std::strcmp(argv[i], "--host-threads")) {
+        const int k = std::atoi(value("--host-threads"));
+        if (k < 1) {
+          std::fprintf(stderr, "%s: --host-threads needs a positive count\n",
+                       argv[0]);
+          std::exit(2);
+        }
+        o.host_threads = static_cast<u32>(k);
+        sim::set_default_host_threads(o.host_threads);
       } else if (!std::strcmp(argv[i], "--json") && machine_readable) {
         o.json_path = value("--json");
       } else if (!std::strcmp(argv[i], "--trace") && machine_readable) {
@@ -84,7 +98,7 @@ struct Options {
       } else if (!std::strcmp(argv[i], "--help")) {
         std::printf(
             "usage: %s [--n <log2 elements>] [--full] "
-            "[--device k40c|750ti|sol] [--trials k]%s\n",
+            "[--device k40c|750ti|sol] [--trials k] [--host-threads k]%s\n",
             argv[0],
             machine_readable ? " [--json <file>] [--trace <file>]" : "");
         std::exit(0);
@@ -127,12 +141,18 @@ struct Measurement {
   split::StageTimings stages;  // already rescaled to the paper's n
   f64 total_ms = 0.0;          // rescaled
   f64 rate_gkeys = 0.0;        // at the paper's n
+  /// Host (simulator) wall-clock per trial, *not* rescaled and *not* part
+  /// of the modeled results: it measures how fast the simulation itself
+  /// ran (the parallel scheduler's speedup shows up here).
+  f64 host_ms = 0.0;
+  f64 host_keys_per_sec = 0.0;  // measured n / host_ms
 };
 
 template <typename Runner>
 Measurement measure(const Options& opt, Runner&& run_once) {
   Measurement m;
   f64 kernels = 0;
+  const auto host_t0 = std::chrono::steady_clock::now();
   for (u32 t = 0; t < opt.trials; ++t) {
     const split::MultisplitResult r = run_once(t);
     m.stages.prescan_ms += r.stages.prescan_ms;
@@ -140,6 +160,11 @@ Measurement measure(const Options& opt, Runner&& run_once) {
     m.stages.postscan_ms += r.stages.postscan_ms;
     kernels += static_cast<f64>(r.summary.kernels);
   }
+  const auto host_t1 = std::chrono::steady_clock::now();
+  m.host_ms = std::chrono::duration<f64, std::milli>(host_t1 - host_t0).count() /
+              opt.trials;
+  m.host_keys_per_sec =
+      m.host_ms > 0 ? static_cast<f64>(opt.n()) / (m.host_ms * 1e-3) : 0.0;
   m.stages.prescan_ms /= opt.trials;
   m.stages.scan_ms /= opt.trials;
   m.stages.postscan_ms /= opt.trials;

@@ -1,0 +1,56 @@
+// Host-scaling microbench: simulator wall-clock vs worker threads.
+//
+// Runs one fixed BMS (block-level multisplit) launch workload at n = 2^24
+// (pass --n to change it) for thread counts 1, 2, 4, ... up to the
+// hardware concurrency (always including 4), and prints the host
+// wall-clock, keys-per-second and speedup over the serial path.  The
+// modeled results are bit-identical across rows by construction -- this
+// bench asserts that (total_ms must match the serial run exactly) so it
+// doubles as a determinism smoke test at scale.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "sim/threadpool.hpp"
+
+using namespace ms;
+using namespace ms::bench;
+
+int main(int argc, char** argv) {
+  Options opt = Options::parse(argc, argv, /*default_log2_n=*/24,
+                               /*paper_log2_n=*/25);
+  opt.print_header("host scaling: simulator wall-clock vs worker threads");
+
+  std::vector<u32> thread_counts = {1, 2, 4};
+  const u32 hw = sim::ThreadPool::hardware_threads();
+  for (u32 t = 8; t <= hw; t *= 2) thread_counts.push_back(t);
+
+  std::printf("%8s %12s %16s %10s %12s\n", "threads", "host_ms",
+              "host_keys/s", "speedup", "modeled_ms");
+  f64 serial_host_ms = 0.0;
+  f64 serial_total_ms = -1.0;
+  for (const u32 threads : thread_counts) {
+    sim::set_default_host_threads(threads);
+    const Measurement meas = measure(opt, [&](u32 trial) {
+      return run_multisplit(opt, split::Method::kBlockLevel, /*m=*/32,
+                            /*key_value=*/false,
+                            workload::Distribution::kUniform, trial);
+    });
+    if (threads == 1) {
+      serial_host_ms = meas.host_ms;
+      serial_total_ms = meas.total_ms;
+    } else if (meas.total_ms != serial_total_ms) {
+      std::fprintf(stderr,
+                   "FAIL: modeled time drifted at %u threads (%.9g vs "
+                   "serial %.9g ms)\n",
+                   threads, meas.total_ms, serial_total_ms);
+      return 1;
+    }
+    std::printf("%8u %12.1f %16.3e %9.2fx %12.4f\n", threads, meas.host_ms,
+                meas.host_keys_per_sec,
+                meas.host_ms > 0 ? serial_host_ms / meas.host_ms : 0.0,
+                meas.total_ms);
+  }
+  sim::set_default_host_threads(0);
+  return 0;
+}

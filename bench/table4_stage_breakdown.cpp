@@ -44,6 +44,8 @@ void print_method_block(const Options& opt, JsonReport& report,
       w.field("m", m);
       w.field("key_value", kv);
       w.field("total_ms", meas.total_ms);
+      w.field("host_ms", meas.host_ms);
+      w.field("host_keys_per_sec", meas.host_keys_per_sec);
       w.key("stages").begin_object();
       w.field("prescan_ms", meas.stages.prescan_ms);
       w.field("scan_ms", meas.stages.scan_ms);

@@ -63,6 +63,8 @@ int main(int argc, char** argv) {
           w.field("key_value", kv != 0);
           w.field("rate_gkeys", meas.rate_gkeys);
           w.field("total_ms", meas.total_ms);
+          w.field("host_ms", meas.host_ms);
+          w.field("host_keys_per_sec", meas.host_keys_per_sec);
           w.key("stages").begin_object();
           w.field("prescan_ms", meas.stages.prescan_ms);
           w.field("scan_ms", meas.stages.scan_ms);

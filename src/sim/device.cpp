@@ -1,13 +1,41 @@
 #include "sim/device.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdlib>
 
+#include "sim/threadpool.hpp"
+
 namespace ms::sim {
+
+namespace detail {
+thread_local CounterShard* t_shard = nullptr;
+}  // namespace detail
+
+namespace {
+/// Non-zero: explicit process-wide override (e.g. --host-threads).
+std::atomic<u32> g_host_threads_override{0};
+}  // namespace
+
+void set_default_host_threads(u32 threads) {
+  g_host_threads_override.store(threads, std::memory_order_relaxed);
+}
+
+u32 default_host_threads() {
+  const u32 o = g_host_threads_override.load(std::memory_order_relaxed);
+  if (o != 0) return o;
+  if (const char* env = std::getenv("MS_HOST_THREADS"); env != nullptr && *env) {
+    const int v = std::atoi(env);
+    check(v >= 1, "MS_HOST_THREADS must be a positive integer");
+    return static_cast<u32>(v);
+  }
+  return ThreadPool::hardware_threads();
+}
 
 Device::Device(DeviceProfile profile)
     : profile_(std::move(profile)),
       l2_(profile_.l2_bytes, profile_.l2_ways, profile_.transaction_bytes) {
+  host_threads_ = default_host_threads();
   sites_.push_back(SiteStats{"other", {}});  // SiteId 0 == kSiteOther
   writeback_site_ = site_id("sim/l2_writeback");
   // MS_SANITIZE=memcheck,racecheck,initcheck (or "all") arms the sanitizer
@@ -75,6 +103,11 @@ u64 Device::allocate_address_range(u64 bytes) {
 }
 
 void Device::touch_read_sectors(u64 first_sector, u32 segments) {
+  if (CounterShard* sh = detail::t_shard; sh != nullptr) {
+    sh->events.l2_read_segments += segments;
+    sh->record_sectors(first_sector, segments, /*is_write=*/false);
+    return;
+  }
   current_.l2_read_segments += segments;
   for (u32 s = 0; s < segments; ++s) {
     const auto r = l2_.read(first_sector + s);
@@ -84,6 +117,11 @@ void Device::touch_read_sectors(u64 first_sector, u32 segments) {
 }
 
 void Device::touch_write_sectors(u64 first_sector, u32 segments) {
+  if (CounterShard* sh = detail::t_shard; sh != nullptr) {
+    sh->events.l2_write_segments += segments;
+    sh->record_sectors(first_sector, segments, /*is_write=*/true);
+    return;
+  }
   current_.l2_write_segments += segments;
   for (u32 s = 0; s < segments; ++s) {
     const auto r = l2_.write(first_sector + s);
@@ -93,6 +131,11 @@ void Device::touch_write_sectors(u64 first_sector, u32 segments) {
 }
 
 void Device::touch_read_sector(u64 sector) {
+  if (CounterShard* sh = detail::t_shard; sh != nullptr) {
+    sh->events.l2_read_segments += 1;
+    sh->record_sectors(sector, 1, /*is_write=*/false);
+    return;
+  }
   current_.l2_read_segments += 1;
   const auto r = l2_.read(sector);
   current_.dram_read_tx += r.dram_read_tx;
@@ -100,6 +143,11 @@ void Device::touch_read_sector(u64 sector) {
 }
 
 void Device::touch_write_sector(u64 sector) {
+  if (CounterShard* sh = detail::t_shard; sh != nullptr) {
+    sh->events.l2_write_segments += 1;
+    sh->record_sectors(sector, 1, /*is_write=*/true);
+    return;
+  }
   current_.l2_write_segments += 1;
   const auto r = l2_.write(sector);
   current_.dram_read_tx += r.dram_read_tx;
@@ -119,6 +167,7 @@ f64 Device::total_ms() const {
 }
 
 SiteId Device::site_id(std::string_view label) {
+  std::lock_guard<std::mutex> lock(site_mu_);
   for (SiteId i = 0; i < sites_.size(); ++i) {
     if (sites_[i].label == label) return i;
   }
@@ -127,6 +176,13 @@ SiteId Device::site_id(std::string_view label) {
 }
 
 SiteId Device::set_site(SiteId site) {
+  if (CounterShard* sh = detail::t_shard; sh != nullptr) {
+    {
+      std::lock_guard<std::mutex> lock(site_mu_);
+      check(site < sites_.size(), "set_site: unregistered site id");
+    }
+    return sh->set_site(site);
+  }
   check(site < sites_.size(), "set_site: unregistered site id");
   flush_site_delta();
   const SiteId prev = current_site_;
@@ -152,6 +208,125 @@ void Device::flush_site_delta() {
     }
   }
   site_snapshot_ = current_;
+}
+
+Device::~Device() = default;
+
+void Device::set_host_threads(u32 threads) {
+  check(!in_kernel_, "set_host_threads: kernel executing");
+  host_threads_ = threads == 0 ? default_host_threads() : threads;
+}
+
+void Device::run_items(u64 n, const std::function<void(u64)>& body) {
+  const u32 threads = host_threads_;
+  if (threads <= 1 || n <= 1) {
+    for (u64 i = 0; i < n; ++i) body(i);
+    return;
+  }
+  if (pool_ == nullptr || pool_->size() != threads) {
+    pool_ = std::make_unique<ThreadPool>(threads);
+  }
+  sync_ = std::make_unique<LaunchSync>();
+  sync_->done.assign(n, 0);
+  // Items start attributing to the site active at launch entry, exactly
+  // as the serial loop would.
+  const SiteId launch_site = current_site_;
+  std::exception_ptr first_error;
+  // Batching bounds the memory held by recorded sector streams; it cannot
+  // change results (batches run back-to-back, merges stay in item order,
+  // and the completed-prefix fence spans the whole launch).
+  constexpr u64 kBatch = 1024;
+  std::vector<CounterShard> shards;
+  for (u64 base = 0; base < n && first_error == nullptr; base += kBatch) {
+    const u64 count = std::min(kBatch, n - base);
+    shards.assign(count, CounterShard{});
+    for (u64 i = 0; i < count; ++i) {
+      shards[i].item_id = base + i;
+      shards[i].current_site = launch_site;
+    }
+    const std::function<void(u64)> worker = [&](u64 item) {
+      CounterShard& sh = shards[item - base];
+      detail::t_shard = &sh;
+      try {
+        body(item);
+      } catch (...) {
+        sh.error = std::current_exception();
+      }
+      detail::t_shard = nullptr;
+      // Always advance the completed prefix, fault or not: later items
+      // may be blocked in global_atomic_fence.
+      std::lock_guard<std::mutex> lock(sync_->mu);
+      sync_->done[item] = 1;
+      while (sync_->prefix < n && sync_->done[sync_->prefix] != 0) {
+        sync_->prefix += 1;
+      }
+      sync_->cv.notify_all();
+    };
+    pool_->run(base, base + count, worker);
+    // Merge in ascending item order.  A faulted item keeps its partial
+    // counters but nothing after it is merged: serial execution would
+    // have thrown before reaching those items.
+    for (u64 i = 0; i < count; ++i) {
+      merge_shard(shards[i]);
+      if (shards[i].error != nullptr) {
+        first_error = shards[i].error;
+        break;
+      }
+    }
+  }
+  sync_.reset();
+  if (first_error != nullptr) std::rethrow_exception(first_error);
+}
+
+void Device::global_atomic_fence() {
+  CounterShard* sh = detail::t_shard;
+  if (sh == nullptr || sh->fence_passed) return;
+  LaunchSync& s = *sync_;
+  std::unique_lock<std::mutex> lock(s.mu);
+  s.cv.wait(lock, [&] { return s.prefix >= sh->item_id; });
+  sh->fence_passed = true;
+}
+
+void Device::merge_shard(CounterShard& shard) {
+  shard.flush_site_delta();
+  for (const auto& [site, slice] : shard.sites) {
+    add_attributed(site, slice);
+  }
+  current_peak_smem_ = std::max(current_peak_smem_, shard.peak_smem);
+  // Replay the item's sector stream through the real L2.  Replay order ==
+  // merge order == item order == serial execution order, so every access
+  // sees the exact cache state it would have seen serially and the
+  // hit/miss (and writeback) sequence is reproduced bit-for-bit.
+  for (const SectorOp& op : shard.sector_ops) {
+    KernelEvents d;
+    for (u32 s = 0; s < op.count; ++s) {
+      const auto r = op.is_write ? l2_.write(op.first_sector + s)
+                                 : l2_.read(op.first_sector + s);
+      d.dram_read_tx += r.dram_read_tx;
+      d.dram_write_tx += r.dram_write_tx;
+    }
+    if (!(d == KernelEvents{})) add_attributed(op.site, d);
+  }
+  for (FaultContext& r : shard.reports) {
+    san_.report(std::move(r));
+  }
+  shard.reports.clear();
+}
+
+void Device::add_attributed(SiteId site, const KernelEvents& delta) {
+  // Bump totals and snapshot together so any delta the *main* thread had
+  // pending before the launch stays pending and is attributed to its own
+  // site at the next flush.
+  current_ += delta;
+  site_snapshot_ += delta;
+  sites_[site].events += delta;
+  auto it = std::find_if(kernel_sites_.begin(), kernel_sites_.end(),
+                         [&](const auto& p) { return p.first == site; });
+  if (it == kernel_sites_.end()) {
+    kernel_sites_.emplace_back(site, delta);
+  } else {
+    it->second += delta;
+  }
 }
 
 void Device::reset_stats() {

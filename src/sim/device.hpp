@@ -9,6 +9,10 @@
 #pragma once
 
 #include <algorithm>
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -21,13 +25,24 @@
 #include "sim/events.hpp"
 #include "sim/profile.hpp"
 #include "sim/sanitizer.hpp"
+#include "sim/shard.hpp"
 #include "sim/types.hpp"
 
 namespace ms::sim {
 
+class ThreadPool;
+
+/// Process-wide default worker count for new Devices: an explicit value
+/// set here (e.g. from a --host-threads flag) wins over the
+/// MS_HOST_THREADS environment variable, which wins over the hardware
+/// concurrency.  0 clears the override.
+void set_default_host_threads(u32 threads);
+u32 default_host_threads();
+
 class Device {
  public:
   explicit Device(DeviceProfile profile = DeviceProfile::tesla_k40c());
+  ~Device();  // out-of-line: ThreadPool is incomplete here
 
   const DeviceProfile& profile() const { return profile_; }
 
@@ -62,10 +77,19 @@ class Device {
   u64 allocate_address_range(u64 bytes);
 
   // --- event recording (used by Warp/Block contexts) ---
-  KernelEvents& events() { return current_; }
+  /// The counter sink of the executing context: the thread-local shard
+  /// while a parallel item runs on this thread, the kernel totals
+  /// otherwise (serial path, and host code between launches).
+  KernelEvents& events() {
+    CounterShard* sh = detail::t_shard;
+    return sh != nullptr ? sh->events : current_;
+  }
 
   /// Record a warp-wide global read/write covering `segments` sectors
-  /// starting at `first_sector` (contiguous case).
+  /// starting at `first_sector` (contiguous case).  Serial path: the
+  /// sectors go through the L2 model immediately.  Parallel path: they
+  /// are recorded in the item's shard and replayed through the L2 in
+  /// item order after the launch (see run_items).
   void touch_read_sectors(u64 first_sector, u32 segments);
   void touch_write_sectors(u64 first_sector, u32 segments);
   /// Same, for an arbitrary (already deduplicated) sector list.
@@ -76,8 +100,37 @@ class Device {
   /// the maximum across the kernel's blocks lands in
   /// KernelRecord::peak_smem_bytes for the occupancy proxy.
   void note_smem_usage(u32 bytes) {
-    current_peak_smem_ = std::max(current_peak_smem_, bytes);
+    CounterShard* sh = detail::t_shard;
+    if (sh != nullptr) {
+      sh->peak_smem = std::max(sh->peak_smem, bytes);
+    } else {
+      current_peak_smem_ = std::max(current_peak_smem_, bytes);
+    }
   }
+
+  // --- parallel block scheduler (used by the launch helpers) ---
+  /// Worker threads used to execute independent kernel items (blocks /
+  /// warp chunks); 1 = the serial path.  Defaults to
+  /// default_host_threads() at construction.
+  u32 host_threads() const { return host_threads_; }
+  /// Set the worker count (0 = reset to the process default).  Takes
+  /// effect at the next launch; must not be called mid-kernel.
+  void set_host_threads(u32 threads);
+
+  /// Execute body(item) for items [0, n), concurrently when
+  /// host_threads() > 1, with accounting merged in ascending item order
+  /// so that counters, per-site slices, L2 traffic and modeled costs are
+  /// bit-identical to serial execution.  Called by the launch helpers
+  /// with one item per block (launch_blocks) or per fixed-size warp
+  /// chunk (launch_warps).
+  void run_items(u64 n, const std::function<void(u64)>& body);
+
+  /// Serial-equivalence fence for global atomics: blocks the calling
+  /// worker until every lower-numbered item of the current launch has
+  /// completed, so atomic old values are consumed in the exact order
+  /// serial execution would produce.  No-op on the serial path and after
+  /// the item's first call.
+  void global_atomic_fence();
 
   // --- kernel log / timing sections ---
   const std::vector<KernelRecord>& records() const { return records_; }
@@ -102,7 +155,10 @@ class Device {
   /// delta to the outgoing site); returns the previous site.  Prefer
   /// ScopedSite over calling this directly.
   SiteId set_site(SiteId site);
-  SiteId current_site() const { return current_site_; }
+  SiteId current_site() const {
+    const CounterShard* sh = detail::t_shard;
+    return sh != nullptr ? sh->current_site : current_site_;
+  }
   /// Accumulated per-site counters across all recorded kernels (pending
   /// deltas are flushed first).  Index == SiteId.
   const std::vector<SiteStats>& site_stats();
@@ -118,6 +174,24 @@ class Device {
  private:
   /// Attribute `current_ - site_snapshot_` to the current site.
   void flush_site_delta();
+
+  /// Fold one completed item's shard into the device state: per-site
+  /// counter slices, peak shared memory, the L2 sector-stream replay and
+  /// the deferred sanitizer reports.  Must be called in ascending item
+  /// order (the replay reproduces the serial L2 access sequence).
+  void merge_shard(CounterShard& shard);
+  /// Add a counter delta to the kernel totals and to `site`'s slices,
+  /// keeping the site-snapshot invariant (no pending delta afterwards).
+  void add_attributed(SiteId site, const KernelEvents& delta);
+
+  /// Cross-item synchronization of one parallel launch (the
+  /// completed-prefix fence global_atomic_fence waits on).
+  struct LaunchSync {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::vector<u8> done;
+    u64 prefix = 0;  // items [0, prefix) have completed
+  };
 
   DeviceProfile profile_;
   SectorCache l2_;
@@ -139,6 +213,14 @@ class Device {
   /// Site slices of the kernel currently executing (moved into its
   /// KernelRecord at end_kernel).
   std::vector<std::pair<u32, KernelEvents>> kernel_sites_;
+
+  /// Guards site_id registration (kernel bodies may register labels from
+  /// worker threads; the table itself is only read during execution).
+  std::mutex site_mu_;
+
+  u32 host_threads_ = 1;
+  std::unique_ptr<ThreadPool> pool_;     // lazily created, reused
+  std::unique_ptr<LaunchSync> sync_;     // non-null only during run_items
 };
 
 }  // namespace ms::sim

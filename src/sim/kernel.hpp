@@ -19,6 +19,7 @@
 // the end of the offending launch.
 #pragma once
 
+#include <algorithm>
 #include <utility>
 
 #include "sim/block.hpp"
@@ -50,15 +51,25 @@ bool run_kernel_body(Device& dev, Body&& run_body) {
 }
 }  // namespace detail
 
+/// Warps per scheduled item of launch_warps.  Fixed (independent of the
+/// worker count) so the item decomposition -- and therefore the merged
+/// accounting -- is identical for every host-thread setting.
+inline constexpr u64 kWarpsPerScheduleItem = 16;
+
 template <typename F>
 void launch_warps(Device& dev, const char* name, u64 num_warps, F&& body) {
   dev.begin_kernel(name);
   dev.events().warps_launched += num_warps;
   detail::run_kernel_body(dev, [&] {
-    for (u64 w = 0; w < num_warps; ++w) {
-      Warp warp(dev, w);
-      body(warp, w);
-    }
+    const u64 items = ceil_div(num_warps, kWarpsPerScheduleItem);
+    dev.run_items(items, [&](u64 item) {
+      const u64 first = item * kWarpsPerScheduleItem;
+      const u64 last = std::min(num_warps, first + kWarpsPerScheduleItem);
+      for (u64 w = first; w < last; ++w) {
+        Warp warp(dev, w);
+        body(warp, w);
+      }
+    });
   });
 }
 
@@ -71,10 +82,10 @@ void launch_blocks(Device& dev, const char* name, u32 num_blocks,
   dev.events().warps_launched +=
       static_cast<u64>(num_blocks) * warps_per_block;
   detail::run_kernel_body(dev, [&] {
-    for (u32 b = 0; b < num_blocks; ++b) {
-      Block blk(dev, b, warps_per_block);
+    dev.run_items(num_blocks, [&](u64 b) {
+      Block blk(dev, static_cast<u32>(b), warps_per_block);
       body(blk);
-    }
+    });
   });
 }
 

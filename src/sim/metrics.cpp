@@ -631,9 +631,15 @@ std::string join(const std::string& path, std::string_view key) {
 void diff_value(DiffCtx& ctx, const std::string& path, const JsonValue& base,
                 const JsonValue& cur);
 
+/// host_* fields (host_ms, host_keys_per_sec, ...) report the simulator's
+/// own wall-clock, which varies run to run and with --host-threads; they
+/// are never part of the modeled results, so diffs skip them entirely.
+bool is_host_time_key(std::string_view k) { return k.rfind("host_", 0) == 0; }
+
 void diff_object(DiffCtx& ctx, const std::string& path, const JsonValue& base,
                  const JsonValue& cur) {
   for (const auto& [k, bv] : base.object) {
+    if (is_host_time_key(k)) continue;
     const JsonValue* cv = cur.find(k);
     if (cv == nullptr) {
       ctx.finding(join(path, k), "present in baseline, missing in current");
@@ -643,6 +649,7 @@ void diff_object(DiffCtx& ctx, const std::string& path, const JsonValue& base,
   }
   for (const auto& [k, cv] : cur.object) {
     (void)cv;
+    if (is_host_time_key(k)) continue;
     if (base.find(k) == nullptr) {
       ctx.finding(join(path, k), "not in baseline, added in current");
     }

@@ -44,7 +44,7 @@ class Device;
 /// --json, bench --json, metrics sections, diff output).  Consumers
 /// (check_bench.py, ms_cli diff) reject mismatched versions instead of
 /// mis-parsing.  Bump when a field changes meaning or moves.
-inline constexpr u32 kReportSchemaVersion = 2;
+inline constexpr u32 kReportSchemaVersion = 3;
 
 /// Which modeled pipe a kernel (or run) saturates.  Classified with a 5%
 /// margin: within it the two pipes are "balanced".

@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "sim/shard.hpp"
+
 namespace ms::sim {
 
 const char* to_string(FaultKind k) {
@@ -69,6 +71,13 @@ std::optional<SanitizerConfig> SanitizerConfig::parse(std::string_view csv) {
 }
 
 void Sanitizer::report(FaultContext ctx) {
+  // Parallel path: defer the report into the executing item's shard; the
+  // post-launch merge forwards shard reports here in item order, so
+  // counts, stored reports and last_error_report match serial execution.
+  if (CounterShard* sh = detail::t_shard; sh != nullptr) {
+    sh->reports.push_back(std::move(ctx));
+    return;
+  }
   if (ctx.severity == FaultSeverity::kError) {
     ++errors_;
     last_error_report_ = ctx;

@@ -1,0 +1,66 @@
+#include "sim/threadpool.hpp"
+
+namespace ms::sim {
+
+ThreadPool::ThreadPool(u32 threads) {
+  check(threads >= 1, "ThreadPool: need at least one worker");
+  workers_.reserve(threads);
+  for (u32 t = 0; t < threads; ++t) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+u32 ThreadPool::hardware_threads() {
+  const u32 hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+void ThreadPool::run(u64 begin, u64 end, const std::function<void(u64)>& body) {
+  if (begin >= end) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    body_ = &body;
+    next_ = begin;
+    end_ = end;
+    in_flight_ = 0;
+    job_seq_ += 1;
+  }
+  work_cv_.notify_all();
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return next_ >= end_ && in_flight_ == 0; });
+  body_ = nullptr;
+}
+
+void ThreadPool::worker_loop() {
+  u64 seen_seq = 0;
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [&] {
+      return shutdown_ || (job_seq_ != seen_seq && next_ < end_);
+    });
+    if (shutdown_) return;
+    seen_seq = job_seq_;
+    // Claim items in ascending order until the job is drained.
+    while (next_ < end_) {
+      const u64 item = next_++;
+      in_flight_ += 1;
+      const std::function<void(u64)>* body = body_;
+      lock.unlock();
+      (*body)(item);
+      lock.lock();
+      in_flight_ -= 1;
+    }
+    if (in_flight_ == 0) done_cv_.notify_all();
+  }
+}
+
+}  // namespace ms::sim

@@ -1,0 +1,67 @@
+// Fixed-size host worker pool for the parallel block scheduler.
+//
+// One pool is owned lazily by each Device and reused across kernel
+// launches (spawning threads per launch would dominate small kernels).
+// The only job shape it runs is the one the scheduler needs: execute
+// `body(item)` for every item of [begin, end), handing items to workers
+// in *ascending order* (a shared atomic cursor).  Ascending dispatch is
+// load-bearing for deterministic execution: Device::run_items relies on
+// the invariant that the lowest-numbered incomplete item is always
+// already running on some worker, so a worker blocked in the
+// global-atomic fence (waiting for every earlier item to finish) can
+// never deadlock the pool.
+//
+// Worker threads never touch Device state directly; all counter routing
+// happens through the thread-local CounterShard set up by the caller's
+// `body` (see shard.hpp).  Exceptions must be contained by `body` itself
+// (run_items captures them per item); a throw escaping `body` terminates.
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace ms::sim {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (>= 1).  Workers idle on a condition
+  /// variable between jobs.
+  explicit ThreadPool(u32 threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  u32 size() const { return static_cast<u32>(workers_.size()); }
+
+  /// Run body(item) for every item of [begin, end) across the workers and
+  /// block until all items completed.  Items are claimed in ascending
+  /// order.  One job at a time (the caller is the Device's launch path,
+  /// which is single-threaded by construction).
+  void run(u64 begin, u64 end, const std::function<void(u64)>& body);
+
+  /// Number of hardware threads, with a floor of 1 (hardware_concurrency
+  /// may report 0 on exotic platforms).
+  static u32 hardware_threads();
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // workers wait here for a job
+  std::condition_variable done_cv_;   // run() waits here for completion
+  const std::function<void(u64)>* body_ = nullptr;
+  u64 next_ = 0;
+  u64 end_ = 0;
+  u64 in_flight_ = 0;  // items claimed but not yet finished
+  u64 job_seq_ = 0;    // bumped per run() so idle workers wake exactly once
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace ms::sim

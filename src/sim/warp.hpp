@@ -20,6 +20,7 @@
 
 #include <algorithm>
 #include <array>
+#include <atomic>
 #include <bit>
 
 #include "sim/memory.hpp"
@@ -183,7 +184,7 @@ class Warp {
     GlobalShadow* sh = buf.init_shadow();
     for_each_lane(active, [&](u32 lane) {
       bounds_check(buf, base + lane, lane, "unit-stride store");
-      if (sh != nullptr) sh->valid[base + lane] = 1;
+      if (sh != nullptr) mark_valid(*sh, base + lane);
       buf.raw_data()[base + lane] = v[lane];
     });
   }
@@ -214,7 +215,7 @@ class Warp {
     GlobalShadow* sh = buf.init_shadow();
     for_each_lane(active, [&](u32 lane) {
       bounds_check(buf, idx[lane], lane, "scatter");
-      if (sh != nullptr) sh->valid[idx[lane]] = 1;
+      if (sh != nullptr) mark_valid(*sh, idx[lane]);
       buf.raw_data()[idx[lane]] = v[lane];
     });
   }
@@ -227,6 +228,7 @@ class Warp {
                           const LaneArray<T>& v, LaneMask active = kFullMask) {
     LaneArray<T> out{};
     if (active == 0) return out;
+    dev_->global_atomic_fence();
     count_simt(active);
     charge_scattered</*is_write=*/true, T>(buf, idx, active);
     // Reads the old value too.
@@ -251,9 +253,9 @@ class Warp {
     for_each_lane(active, [&](u32 lane) {
       bounds_check(buf, idx[lane], lane, "atomicAdd");
       init_check_read(buf, idx[lane], lane);
-      if (sh != nullptr) sh->valid[idx[lane]] = 1;
-      out[lane] = buf.raw_data()[idx[lane]];
-      buf.raw_data()[idx[lane]] += v[lane];
+      if (sh != nullptr) mark_valid(*sh, idx[lane]);
+      out[lane] = atomic_rmw(buf.raw_data()[idx[lane]],
+                             [&](T old) { return static_cast<T>(old + v[lane]); });
     });
     return out;
   }
@@ -264,6 +266,7 @@ class Warp {
                           const LaneArray<T>& v, LaneMask active = kFullMask) {
     LaneArray<T> out{};
     if (active == 0) return out;
+    dev_->global_atomic_fence();
     count_simt(active);
     charge_scattered</*is_write=*/true, T>(buf, idx, active);
     charge_scattered</*is_write=*/false, T>(buf, idx, active);
@@ -284,10 +287,9 @@ class Warp {
     for_each_lane(active, [&](u32 lane) {
       bounds_check(buf, idx[lane], lane, "atomicMin");
       init_check_read(buf, idx[lane], lane);
-      if (sh != nullptr) sh->valid[idx[lane]] = 1;
-      out[lane] = buf.raw_data()[idx[lane]];
-      buf.raw_data()[idx[lane]] =
-          std::min(buf.raw_data()[idx[lane]], v[lane]);
+      if (sh != nullptr) mark_valid(*sh, idx[lane]);
+      out[lane] = atomic_rmw(buf.raw_data()[idx[lane]],
+                             [&](T old) { return std::min(old, v[lane]); });
     });
     return out;
   }
@@ -381,16 +383,43 @@ class Warp {
 
   /// initcheck: reading an element no host or device write ever touched.
   /// Non-fatal; the word is marked valid after reporting so one stale
-  /// element does not flood the report stream.
+  /// element does not flood the report stream.  The mark is an atomic
+  /// exchange so concurrently scheduled blocks reading the same stale
+  /// element produce exactly one report (which block wins the exchange --
+  /// and so stamps the report's block/lane fields -- is the one place the
+  /// parallel scheduler may differ from serial attribution).
   template <typename T>
   void init_check_read(const DeviceBuffer<T>& buf, u64 i, u32 lane) {
     GlobalShadow* sh = buf.init_shadow();
-    if (sh == nullptr || sh->valid[i] != 0) return;
-    sh->valid[i] = 1;
+    if (sh == nullptr) return;
+    if (std::atomic_ref<u8>(sh->valid[i]).exchange(1, std::memory_order_relaxed) != 0) {
+      return;
+    }
     dev_->sanitizer().report(
         global_fault(FaultKind::kUninitGlobalRead, buf, i, lane,
                      "read of a global element never written by host or "
                      "device"));
+  }
+
+  /// Mark one shadow element written (racing writers are fine: all store 1).
+  static void mark_valid(GlobalShadow& sh, u64 i) {
+    std::atomic_ref<u8>(sh.valid[i]).store(1, std::memory_order_relaxed);
+  }
+
+  /// Host-atomic read-modify-write of one device element; returns the old
+  /// value.  The global-atomic fence has already serialized concurrently
+  /// scheduled items by this point, so the CAS loop never spins in
+  /// practice -- it exists so device atomics are real host atomics (no
+  /// data race even if a kernel mixes atomics with the fence disabled).
+  template <typename T, typename F>
+  static T atomic_rmw(T& cell, F&& update) {
+    std::atomic_ref<T> ref(cell);
+    T old = ref.load(std::memory_order_relaxed);
+    while (!ref.compare_exchange_weak(old, update(old),
+                                      std::memory_order_relaxed,
+                                      std::memory_order_relaxed)) {
+    }
+    return old;
   }
 
   /// Charge a unit-stride access.  Issue cost: the load-store unit replays

@@ -29,7 +29,9 @@ import tempfile
 from pathlib import Path
 
 # Must match kReportSchemaVersion in src/sim/metrics.hpp.
-SCHEMA_VERSION = 2
+# v3: benches report host wall-clock (host_ms / host_keys_per_sec); these
+# fields vary run to run and are never compared by this checker.
+SCHEMA_VERSION = 3
 
 # Per-site counters compared exactly under --sites.  Integer event counts:
 # any deviation is a real behavior change, never rounding.

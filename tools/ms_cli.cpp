@@ -18,6 +18,7 @@
 // `diff` compares two --json reports (from ms_cli or the benches)
 // value-by-value with exact matching by default; exit 0 = no drift,
 // 1 = drift found, 2 = unusable input (bad file / schema mismatch).
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -71,6 +72,10 @@ void usage(const char* argv0) {
       "  --nw <warps>          warps per block (default 8)\n"
       "  --ipt <items>         items per thread, warp methods (default 1)\n"
       "  --seed <u64>          workload seed\n"
+      "  --host-threads <k>    simulator worker threads (default: "
+      "MS_HOST_THREADS\n"
+      "                        or the hardware concurrency; modeled results\n"
+      "                        are identical for every k)\n"
       "  --sites               print per-access-site counters\n"
       "  --sanitize <tools>    memcheck,racecheck,initcheck (or all|none)\n"
       "  --json <file>         write a machine-readable report\n"
@@ -125,6 +130,7 @@ u64 run_one(const Args& a, const std::string& name, split::Method method,
   cfg.items_per_thread = a.ipt;
 
   split::MultisplitResult r;
+  const auto host_t0 = std::chrono::steady_clock::now();
   try {
     if (a.kv) {
       const auto vals = workload::identity_values(n);
@@ -141,6 +147,9 @@ u64 run_one(const Args& a, const std::string& name, split::Method method,
                 e.what());
     return dev.sanitizer().error_count();
   }
+  const auto host_t1 = std::chrono::steady_clock::now();
+  const f64 host_ms =
+      std::chrono::duration<f64, std::milli>(host_t1 - host_t0).count();
 
   if (const auto fault = dev.take_last_error()) {
     // A launch was aborted mid-run (sanitizer armed, reporting mode); the
@@ -185,6 +194,9 @@ u64 run_one(const Args& a, const std::string& name, split::Method method,
     w.field("method", name);
     w.field("total_ms", r.total_ms());
     w.field("rate_gkeys", static_cast<f64>(n) / (r.total_ms() * 1e6));
+    w.field("host_ms", host_ms);
+    w.field("host_keys_per_sec",
+            host_ms > 0 ? static_cast<f64>(n) / (host_ms * 1e-3) : 0.0);
     // "kernel_launches", not "kernels": write_metrics_json below emits the
     // per-kernel-group "kernels" array and JSON keys must stay unique.
     w.field("kernel_launches", r.summary.kernels);
@@ -354,6 +366,10 @@ int main(int argc, char** argv) {
     else if (!std::strcmp(argv[i], "--nw")) a.nw = std::stoul(next());
     else if (!std::strcmp(argv[i], "--ipt")) a.ipt = std::stoul(next());
     else if (!std::strcmp(argv[i], "--seed")) a.seed = std::stoull(next());
+    else if (!std::strcmp(argv[i], "--host-threads")) {
+      sim::set_default_host_threads(
+          static_cast<u32>(std::stoul(next())));
+    }
     else if (!std::strcmp(argv[i], "--sites")) a.sites = true;
     else if (!std::strcmp(argv[i], "--sanitize")) a.sanitize = next();
     else if (!std::strncmp(argv[i], "--sanitize=", 11)) a.sanitize = argv[i] + 11;
