@@ -36,6 +36,10 @@ struct Options {
   /// default: MS_HOST_THREADS env or the hardware concurrency).  Changes
   /// host wall-clock only; modeled results are bit-identical by design.
   u32 host_threads = 0;
+  /// --method <token>: override the method every measured multisplit runs
+  /// with ("auto" routes through the plan's paper-guided selection).
+  /// Unset = each bench's own method list.
+  std::optional<split::Method> method;
   std::string json_path;   // --json <file>: machine-readable report
   std::string trace_path;  // --trace <file>: Chrome trace of the first run
   /// Set once the first run has emitted its trace (only one run per process
@@ -77,6 +81,15 @@ struct Options {
         }
       } else if (!std::strcmp(argv[i], "--trials")) {
         o.trials = static_cast<u32>(std::atoi(value("--trials")));
+      } else if (!std::strcmp(argv[i], "--method")) {
+        const char* name = value("--method");
+        o.method = split::parse_method(name);
+        if (!o.method) {
+          std::fprintf(stderr,
+                       "%s: unknown method '%s' (try ms_cli --list)\n",
+                       argv[0], name);
+          std::exit(2);
+        }
       } else if (!std::strcmp(argv[i], "--host-threads")) {
         const int k = std::atoi(value("--host-threads"));
         if (k < 1) {
@@ -98,7 +111,8 @@ struct Options {
       } else if (!std::strcmp(argv[i], "--help")) {
         std::printf(
             "usage: %s [--n <log2 elements>] [--full] "
-            "[--device k40c|750ti|sol] [--trials k] [--host-threads k]%s\n",
+            "[--device k40c|750ti|sol] [--trials k] [--host-threads k] "
+            "[--method <token|auto>]%s\n",
             argv[0],
             machine_readable ? " [--json <file>] [--trace <file>]" : "");
         std::exit(0);
@@ -146,6 +160,9 @@ struct Measurement {
   /// ran (the parallel scheduler's speedup shows up here).
   f64 host_ms = 0.0;
   f64 host_keys_per_sec = 0.0;  // measured n / host_ms
+  /// Concrete method the measured runs executed (kAuto resolved); kAuto
+  /// only if run_once never produced a result.
+  split::Method method_selected = split::Method::kAuto;
 };
 
 template <typename Runner>
@@ -159,6 +176,7 @@ Measurement measure(const Options& opt, Runner&& run_once) {
     m.stages.scan_ms += r.stages.scan_ms;
     m.stages.postscan_ms += r.stages.postscan_ms;
     kernels += static_cast<f64>(r.summary.kernels);
+    m.method_selected = r.method_selected;
   }
   const auto host_t1 = std::chrono::steady_clock::now();
   m.host_ms = std::chrono::duration<f64, std::milli>(host_t1 - host_t0).count() /
@@ -208,8 +226,14 @@ inline split::MultisplitResult run_multisplit(
   sim::Device dev(opt.profile());
   sim::DeviceBuffer<u32> in(dev, std::span<const u32>(host)), out(dev, n);
   split::MultisplitConfig cfg;
-  cfg.method = method;
+  cfg.method = opt.method.value_or(method);
   cfg.warps_per_block = warps_per_block;
+  // Plan-API path: build once (validates config, resolves kAuto), run once.
+  // The device is fresh, so modeled costs equal the pre-plan free-function
+  // path bit for bit.
+  const split::MultisplitPlan plan(dev, n, m, cfg,
+                                   key_value ? static_cast<u32>(sizeof(u32))
+                                             : 0);
   const auto finish = [&](split::MultisplitResult r) {
     if (sites_out != nullptr) *sites_out = dev.site_stats();
     if (metrics_out != nullptr) *metrics_out = sim::analyze_device(dev);
@@ -218,14 +242,12 @@ inline split::MultisplitResult run_multisplit(
     return r;
   };
   if (!key_value) {
-    return finish(
-        split::multisplit_keys(dev, in, out, m, split::RangeBucket{m}, cfg));
+    return finish(plan.run(in, out, split::RangeBucket{m}));
   }
   const auto vals = workload::identity_values(n);
   sim::DeviceBuffer<u32> vin(dev, std::span<const u32>(vals));
   sim::DeviceBuffer<u32> kout(dev, n), vout(dev, n);
-  return finish(split::multisplit_pairs(dev, in, vin, kout, vout, m,
-                                        split::RangeBucket{m}, cfg));
+  return finish(plan.run_pairs(in, vin, kout, vout, split::RangeBucket{m}));
 }
 
 /// Full radix sort baseline (Table 3 / Table 6 denominator).

@@ -41,6 +41,7 @@ void print_method_block(const Options& opt, JsonReport& report,
       auto& w = report.writer();
       w.begin_object();
       w.field("method", name);
+      w.field("method_selected", split::method_token(meas.method_selected));
       w.field("m", m);
       w.field("key_value", kv);
       w.field("total_ms", meas.total_ms);

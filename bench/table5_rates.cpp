@@ -59,6 +59,8 @@ int main(int argc, char** argv) {
           auto& w = report.writer();
           w.begin_object();
           w.field("method", row.name);
+          w.field("method_selected",
+                  split::method_token(meas.method_selected));
           w.field("m", m);
           w.field("key_value", kv != 0);
           w.field("rate_gkeys", meas.rate_gkeys);

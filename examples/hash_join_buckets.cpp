@@ -39,11 +39,15 @@ int main() {
   cfg.method = split::Method::kBlockLevel;  // 16 buckets: block-level wins
   const split::LowBitsBucket part{kBits};
 
+  // One plan per relation shape; in a real pipeline each would be built
+  // once and reused every time that relation (or one of its size) is
+  // re-partitioned, with scratch coming back from the device pool.
+  const split::MultisplitPlan plan_r(dev, nr, m, cfg, sizeof(u32));
+  const split::MultisplitPlan plan_s(dev, ns, m, cfg, sizeof(u32));
+
   sim::DeviceBuffer<u32> rk(dev, nr), ri(dev, nr), sk(dev, ns), si(dev, ns);
-  const auto pr =
-      split::multisplit_pairs(dev, r_keys, r_ids, rk, ri, m, part, cfg);
-  const auto ps =
-      split::multisplit_pairs(dev, s_keys, s_ids, sk, si, m, part, cfg);
+  const auto pr = plan_r.run_pairs(r_keys, r_ids, rk, ri, part);
+  const auto ps = plan_s.run_pairs(s_keys, s_ids, sk, si, part);
 
   std::printf("partitioned R (%llu rows) and S (%llu rows) into %u buckets "
               "in %.3f + %.3f ms (simulated K40c)\n\n",

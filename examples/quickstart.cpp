@@ -22,16 +22,19 @@ int main() {
 
   // Split into 8 buckets that equally divide the 32-bit key domain.  Any
   // functor u32 -> bucket id works here; RangeBucket is the paper's
-  // evaluation setup.
+  // evaluation setup.  Building a plan resolves the method (kAuto applies
+  // the paper's crossover guidance for this device and m), the grid shape,
+  // and the scratch footprint once; plan.run() can then be called any
+  // number of times against pooled scratch.
   const u32 m = 8;
   split::MultisplitConfig cfg;
-  cfg.method = split::Method::kBlockLevel;  // best general-purpose choice
-  const auto result = split::multisplit_keys(dev, keys_in, keys_out, m,
-                                             split::RangeBucket{m}, cfg);
+  cfg.method = split::Method::kAuto;  // let the paper's guidance pick
+  const split::MultisplitPlan plan(dev, n, m, cfg);
+  const auto result = plan.run(keys_in, keys_out, split::RangeBucket{m});
 
-  std::printf("multisplit of %llu keys into %u buckets (%s):\n\n",
+  std::printf("multisplit of %llu keys into %u buckets (auto -> %s):\n\n",
               static_cast<unsigned long long>(n), m,
-              to_string(cfg.method).c_str());
+              to_string(result.method_selected).c_str());
   for (u32 j = 0; j < m; ++j) {
     std::printf("  bucket %u: [%9u, %9u)  (%u keys)\n", j,
                 result.bucket_offsets[j], result.bucket_offsets[j + 1],

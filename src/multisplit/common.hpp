@@ -3,7 +3,10 @@
 // event summaries for the paper's stage-breakdown tables).
 #pragma once
 
+#include <functional>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "sim/sim.hpp"
@@ -20,9 +23,41 @@ enum class Method {
   kRandomizedInsertion, // Section 3.5: PRAM dart throwing (not stable)
   kFusedBucketSort,     // Section 3.4's "future work": bucket functor fused
                         // into the sort kernels; stable, no label vector
+  kAuto,                // Section 6 guidance: pick by (n, m) and the device
+                        // profile's crossover table (MultisplitPlan resolves
+                        // this to one of the concrete methods above)
 };
 
+/// Number of concrete (runnable) methods; kAuto is a selector, not an
+/// implementation, and is always resolved before dispatch.
+inline constexpr u32 kConcreteMethodCount =
+    static_cast<u32>(Method::kAuto);
+
+/// Display name, e.g. "Block-level MS" (the paper's table labels; used in
+/// reports and human-readable output).
 std::string to_string(Method m);
+
+/// Stable CLI token, e.g. "block" -- the names `ms_cli --method` and the
+/// benches accept.  parse_method accepts either spelling and round-trips
+/// both; unknown names return nullopt (callers treat that as a hard error).
+std::string method_token(Method m);
+std::optional<Method> parse_method(std::string_view name);
+
+/// Static capabilities of a concrete method, used by the plan layer for
+/// early argument checking and by the CLI for its method listing.
+struct MethodTraits {
+  const char* token;    // CLI token ("warp")
+  const char* display;  // paper-style display name ("Warp-level MS")
+  u32 max_m;            // largest supported bucket count
+  bool supports_pairs;  // key-value capable?
+  bool stable;          // preserves input order within a bucket?
+};
+const MethodTraits& method_traits(Method m);
+
+/// Resolve Method::kAuto for a problem shape against a device profile's
+/// crossover table (paper Section 6): warp-level for small m, block-level
+/// through m <= auto_block_level_max_m, reduced-bit sort beyond.
+Method resolve_auto(const sim::DeviceProfile& profile, u64 n, u32 m);
 
 /// All stable deterministic methods (the paper's main cast).
 inline constexpr Method kCoreMethods[] = {Method::kDirect, Method::kWarpLevel,
@@ -53,6 +88,11 @@ struct MultisplitConfig {
   u64 seed = 0x9E3779B97F4A7C15ull;
 };
 
+/// Reject malformed configurations (zero warps/items, relaxation below the
+/// staging minimum) with a structured SimError (FaultKind::kInvalidConfig).
+/// Called at plan build time, before any device work.
+void validate_config(const MultisplitConfig& cfg);
+
 /// Per-stage timing breakdown matching the paper's Table 4 rows.  For the
 /// sort-based methods the stages map to labeling / sorting / packing.
 struct StageTimings {
@@ -68,7 +108,14 @@ struct MultisplitResult {
   std::vector<u32> bucket_offsets;
   StageTimings stages;
   sim::TimingSummary summary;
+  /// The concrete method that produced this result -- what Method::kAuto
+  /// resolved to, or simply the requested method.  kAuto only on a
+  /// default-constructed (never-run) result.
+  Method method_selected = Method::kAuto;
   f64 total_ms() const { return stages.total(); }
 };
+
+/// Type-erased bucket function for callers that don't want templates.
+using BucketFunction = std::function<u32(u32)>;
 
 }  // namespace ms::split

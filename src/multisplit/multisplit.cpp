@@ -2,35 +2,13 @@
 
 namespace ms::split {
 
-std::string to_string(Method m) {
-  switch (m) {
-    case Method::kDirect: return "Direct MS";
-    case Method::kWarpLevel: return "Warp-level MS";
-    case Method::kBlockLevel: return "Block-level MS";
-    case Method::kScanSplit: return "Scan-based split";
-    case Method::kRecursiveScanSplit: return "Recursive scan split";
-    case Method::kReducedBitSort: return "Reduced-bit sort";
-    case Method::kRandomizedInsertion: return "Randomized insertion";
-    case Method::kFusedBucketSort: return "Fused-bucket sort";
-  }
-  return "?";
-}
-
-namespace {
-/// Adapter giving std::function-based callers an honest evaluation charge.
-struct ErasedBucket {
-  const BucketFunction* fn;
-  u32 operator()(u32 key) const { return (*fn)(key); }
-  static constexpr u32 charge_cost = 2;
-};
-}  // namespace
-
 MultisplitResult multisplit_keys(sim::Device& dev,
                                  const sim::DeviceBuffer<u32>& in,
                                  sim::DeviceBuffer<u32>& out, u32 m,
                                  const BucketFunction& bucket_of,
                                  const MultisplitConfig& cfg) {
-  return multisplit_keys(dev, in, out, m, ErasedBucket{&bucket_of}, cfg);
+  return multisplit_keys(dev, in, out, m, detail::ErasedBucket{&bucket_of},
+                         cfg);
 }
 
 MultisplitResult multisplit_pairs(sim::Device& dev,
@@ -41,7 +19,7 @@ MultisplitResult multisplit_pairs(sim::Device& dev,
                                   const BucketFunction& bucket_of,
                                   const MultisplitConfig& cfg) {
   return multisplit_pairs(dev, keys_in, vals_in, keys_out, vals_out, m,
-                          ErasedBucket{&bucket_of}, cfg);
+                          detail::ErasedBucket{&bucket_of}, cfg);
 }
 
 }  // namespace ms::split

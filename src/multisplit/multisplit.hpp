@@ -17,27 +17,19 @@
 // Warp-level MS for small m (<= ~6), Block-level MS for larger m; Direct
 // MS, scan-based splits, reduced-bit sort and randomized insertion are
 // provided as the paper's full cast of alternatives and baselines.
+// Method::kAuto applies that guidance automatically.
+//
+// The free functions below are one-shot conveniences: each builds a
+// MultisplitPlan (plan.hpp) and runs it once.  Callers that split
+// repeatedly should build the plan themselves and reuse it -- scratch
+// buffers then come back from the device's pooled allocator and repeated
+// runs re-hit L2 (see bench/plan_reuse.cpp).  Single-shot modeled costs
+// are identical either way.
 #pragma once
 
-#include <functional>
-
-#include "multisplit/block_ms.hpp"
-#include "multisplit/bucket.hpp"
-#include "multisplit/common.hpp"
-#include "multisplit/fused_sort.hpp"
-#include "multisplit/randomized_insertion.hpp"
-#include "multisplit/reduced_bit_sort.hpp"
-#include "multisplit/scan_split.hpp"
-#include "multisplit/sort_baselines.hpp"
-#include "multisplit/warp_ms.hpp"
+#include "multisplit/plan.hpp"
 
 namespace ms::split {
-
-namespace detail {
-/// Typed null value-buffer for the key-only paths (lets V deduce to u32).
-inline constexpr const sim::DeviceBuffer<u32>* kNoValues = nullptr;
-inline constexpr sim::DeviceBuffer<u32>* kNoValuesOut = nullptr;
-}  // namespace detail
 
 /// Key-only multisplit of `in` into `out` (distinct buffers, equal size).
 /// Returns bucket offsets and per-stage timings.
@@ -47,40 +39,8 @@ MultisplitResult multisplit_keys(sim::Device& dev,
                                  sim::DeviceBuffer<u32>& out, u32 m,
                                  BucketFn bucket_of,
                                  const MultisplitConfig& cfg = {}) {
-  check(&in != &out, "multisplit: in and out must be distinct");
-  check(out.size() >= in.size(), "multisplit: output too small");
-  check(m >= 1, "multisplit: need at least one bucket");
-  switch (cfg.method) {
-    case Method::kDirect:
-      return detail::warp_granularity_ms<false>(dev, in, out, detail::kNoValues,
-                                                detail::kNoValuesOut, m,
-                                                bucket_of, cfg);
-    case Method::kWarpLevel:
-      return detail::warp_granularity_ms<true>(dev, in, out, detail::kNoValues,
-                                               detail::kNoValuesOut, m,
-                                               bucket_of, cfg);
-    case Method::kBlockLevel:
-      return detail::block_ms(dev, in, out, detail::kNoValues,
-                              detail::kNoValuesOut, m, bucket_of, cfg);
-    case Method::kScanSplit:
-      check(m <= 2, "scan-based split handles at most 2 buckets");
-      return detail::scan_split_ms(dev, in, out, detail::kNoValues,
-                                   detail::kNoValuesOut, m, bucket_of, cfg);
-    case Method::kRecursiveScanSplit:
-      return detail::scan_split_ms(dev, in, out, detail::kNoValues,
-                                   detail::kNoValuesOut, m, bucket_of, cfg);
-    case Method::kReducedBitSort:
-      return detail::reduced_bit_sort_ms(dev, in, out, detail::kNoValues,
-                                         detail::kNoValuesOut, m, bucket_of,
-                                         cfg);
-    case Method::kRandomizedInsertion:
-      return detail::randomized_insertion_ms(dev, in, out, m, bucket_of, cfg);
-    case Method::kFusedBucketSort:
-      return detail::fused_bucket_sort_ms(dev, in, out, detail::kNoValues,
-                                          detail::kNoValuesOut, m, bucket_of,
-                                          cfg);
-  }
-  fail("multisplit: unknown method");
+  const MultisplitPlan plan(dev, in.size(), m, cfg);
+  return plan.run(in, out, bucket_of);
 }
 
 /// Key-value multisplit: values are permuted alongside their keys.
@@ -96,46 +56,12 @@ MultisplitResult multisplit_pairs(sim::Device& dev,
                                   const MultisplitConfig& cfg = {}) {
   static_assert(std::is_same_v<V, u32> || std::is_same_v<V, u64>,
                 "multisplit values are u32 or u64 (use a pointer otherwise)");
-  check(&keys_in != &keys_out && &vals_in != &vals_out,
-        "multisplit: in and out must be distinct");
-  check(keys_in.size() == vals_in.size(), "multisplit: key/value mismatch");
-  check(keys_out.size() >= keys_in.size() && vals_out.size() >= vals_in.size(),
-        "multisplit: output too small");
-  check(m >= 1, "multisplit: need at least one bucket");
-  switch (cfg.method) {
-    case Method::kDirect:
-      return detail::warp_granularity_ms<false>(dev, keys_in, keys_out,
-                                                &vals_in, &vals_out, m,
-                                                bucket_of, cfg);
-    case Method::kWarpLevel:
-      return detail::warp_granularity_ms<true>(dev, keys_in, keys_out,
-                                               &vals_in, &vals_out, m,
-                                               bucket_of, cfg);
-    case Method::kBlockLevel:
-      return detail::block_ms(dev, keys_in, keys_out, &vals_in, &vals_out, m,
-                              bucket_of, cfg);
-    case Method::kScanSplit:
-      check(m <= 2, "scan-based split handles at most 2 buckets");
-      return detail::scan_split_ms(dev, keys_in, keys_out, &vals_in, &vals_out,
-                                   m, bucket_of, cfg);
-    case Method::kRecursiveScanSplit:
-      return detail::scan_split_ms(dev, keys_in, keys_out, &vals_in, &vals_out,
-                                   m, bucket_of, cfg);
-    case Method::kReducedBitSort:
-      return detail::reduced_bit_sort_ms(dev, keys_in, keys_out, &vals_in,
-                                         &vals_out, m, bucket_of, cfg);
-    case Method::kRandomizedInsertion:
-      fail("randomized insertion is key-only (Section 3.5)");
-    case Method::kFusedBucketSort:
-      return detail::fused_bucket_sort_ms(dev, keys_in, keys_out, &vals_in,
-                                          &vals_out, m, bucket_of, cfg);
-  }
-  fail("multisplit: unknown method");
+  const MultisplitPlan plan(dev, keys_in.size(), m, cfg,
+                            static_cast<u32>(sizeof(V)));
+  return plan.run_pairs(keys_in, vals_in, keys_out, vals_out, bucket_of);
 }
 
-/// Type-erased bucket function for callers that don't want templates.
-using BucketFunction = std::function<u32(u32)>;
-
+/// Type-erased overloads (see BucketFunction in common.hpp).
 MultisplitResult multisplit_keys(sim::Device& dev,
                                  const sim::DeviceBuffer<u32>& in,
                                  sim::DeviceBuffer<u32>& out, u32 m,

@@ -1,0 +1,238 @@
+// Plan/executor architecture for multisplit (the CUB-style reusable API
+// the paper's follow-up artifact evolved into).
+//
+// A MultisplitPlan is built once from (Device, n, m, config): it validates
+// the configuration, resolves Method::kAuto against the device profile's
+// crossover table, and precomputes the grid shape and temp-storage
+// requirement -- all host-side arithmetic, no device work.  plan.run(...)
+// then executes any number of times; per-call scratch buffers come back
+// from the device's caching sub-allocator (sim/allocator.hpp), so repeated
+// runs reuse the same address ranges and re-hit L2 instead of growing the
+// address space.
+//
+// Every concrete method is one row of a MethodImpl dispatch table -- the
+// single method->implementation mapping both the plan and the legacy free
+// functions (multisplit.hpp, now thin wrappers) route through.  Single-shot
+// modeled costs are bit-identical to the pre-plan code: plan construction
+// does no device work, the dispatch table calls exactly the functions the
+// old switches called, and a fresh device's allocator hands out bump-
+// identical addresses (see DESIGN.md §10).
+#pragma once
+
+#include <array>
+#include <type_traits>
+
+#include "multisplit/block_ms.hpp"
+#include "multisplit/bucket.hpp"
+#include "multisplit/common.hpp"
+#include "multisplit/fused_sort.hpp"
+#include "multisplit/randomized_insertion.hpp"
+#include "multisplit/reduced_bit_sort.hpp"
+#include "multisplit/scan_split.hpp"
+#include "multisplit/sort_baselines.hpp"
+#include "multisplit/warp_ms.hpp"
+
+namespace ms::split {
+
+namespace detail {
+
+/// Typed null value-buffer for the key-only paths (lets V deduce to u32).
+inline constexpr const sim::DeviceBuffer<u32>* kNoValues = nullptr;
+inline constexpr sim::DeviceBuffer<u32>* kNoValuesOut = nullptr;
+
+/// One row of the method dispatch table: the unified entry point of a
+/// concrete method for a given (BucketFn, V) instantiation.  Key-only
+/// callers pass null value buffers.
+template <typename BucketFn, typename V>
+struct MethodImpl {
+  using RunFn = MultisplitResult (*)(
+      sim::Device&, const sim::DeviceBuffer<u32>&, sim::DeviceBuffer<u32>&,
+      const sim::DeviceBuffer<V>*, sim::DeviceBuffer<V>*, u32, BucketFn,
+      const MultisplitConfig&);
+  RunFn run;
+};
+
+/// The dispatch table, indexed by static_cast<u32>(Method).  Built once
+/// per (BucketFn, V) instantiation; replaces the duplicated 8-way switches
+/// the key-only and key-value entry points used to carry.
+template <typename BucketFn, typename V>
+const std::array<MethodImpl<BucketFn, V>, kConcreteMethodCount>&
+method_table() {
+  using D = sim::Device;
+  using Keys = sim::DeviceBuffer<u32>;
+  using Vals = sim::DeviceBuffer<V>;
+  using Cfg = MultisplitConfig;
+  static const std::array<MethodImpl<BucketFn, V>, kConcreteMethodCount>
+      table = {{
+          // kDirect
+          {[](D& dev, const Keys& in, Keys& out, const Vals* vi, Vals* vo,
+              u32 m, BucketFn fn, const Cfg& cfg) {
+            return warp_granularity_ms<false>(dev, in, out, vi, vo, m, fn,
+                                              cfg);
+          }},
+          // kWarpLevel
+          {[](D& dev, const Keys& in, Keys& out, const Vals* vi, Vals* vo,
+              u32 m, BucketFn fn, const Cfg& cfg) {
+            return warp_granularity_ms<true>(dev, in, out, vi, vo, m, fn,
+                                             cfg);
+          }},
+          // kBlockLevel
+          {[](D& dev, const Keys& in, Keys& out, const Vals* vi, Vals* vo,
+              u32 m, BucketFn fn, const Cfg& cfg) {
+            return block_ms(dev, in, out, vi, vo, m, fn, cfg);
+          }},
+          // kScanSplit (m <= 2, enforced at plan build)
+          {[](D& dev, const Keys& in, Keys& out, const Vals* vi, Vals* vo,
+              u32 m, BucketFn fn, const Cfg& cfg) {
+            return scan_split_ms(dev, in, out, vi, vo, m, fn, cfg);
+          }},
+          // kRecursiveScanSplit
+          {[](D& dev, const Keys& in, Keys& out, const Vals* vi, Vals* vo,
+              u32 m, BucketFn fn, const Cfg& cfg) {
+            return scan_split_ms(dev, in, out, vi, vo, m, fn, cfg);
+          }},
+          // kReducedBitSort
+          {[](D& dev, const Keys& in, Keys& out, const Vals* vi, Vals* vo,
+              u32 m, BucketFn fn, const Cfg& cfg) {
+            return reduced_bit_sort_ms(dev, in, out, vi, vo, m, fn, cfg);
+          }},
+          // kRandomizedInsertion (key-only; enforced at plan build and here)
+          {[](D& dev, const Keys& in, Keys& out, const Vals* vi, Vals*,
+              u32 m, BucketFn fn, const Cfg& cfg) {
+            check(vi == nullptr,
+                  "randomized insertion is key-only (Section 3.5)");
+            return randomized_insertion_ms(dev, in, out, m, fn, cfg);
+          }},
+          // kFusedBucketSort
+          {[](D& dev, const Keys& in, Keys& out, const Vals* vi, Vals* vo,
+              u32 m, BucketFn fn, const Cfg& cfg) {
+            return fused_bucket_sort_ms(dev, in, out, vi, vo, m, fn, cfg);
+          }},
+      }};
+  return table;
+}
+
+/// Dispatch a concrete (already-resolved) method and stamp the result with
+/// the method that ran.
+template <typename BucketFn, typename V>
+MultisplitResult run_method(Method method, sim::Device& dev,
+                            const sim::DeviceBuffer<u32>& in,
+                            sim::DeviceBuffer<u32>& out,
+                            const sim::DeviceBuffer<V>* vals_in,
+                            sim::DeviceBuffer<V>* vals_out, u32 m,
+                            BucketFn bucket_of, const MultisplitConfig& cfg) {
+  const u32 idx = static_cast<u32>(method);
+  check(idx < kConcreteMethodCount, "multisplit: method not resolved");
+  // Park scratch frees until this run completes: within-call alloc/free
+  // churn (the recursive scan split's per-round buffers) must see fresh
+  // bump addresses for bit-identical single-shot costs; the NEXT run then
+  // reuses everything this run freed.
+  const sim::CachingAllocator::DeferredScope scope(dev.allocator());
+  MultisplitResult r = method_table<BucketFn, V>()[idx].run(
+      dev, in, out, vals_in, vals_out, m, bucket_of, cfg);
+  r.method_selected = method;
+  return r;
+}
+
+/// Adapter giving std::function-based callers an honest evaluation charge.
+struct ErasedBucket {
+  const BucketFunction* fn;
+  u32 operator()(u32 key) const { return (*fn)(key); }
+  static constexpr u32 charge_cost = 2;
+};
+
+}  // namespace detail
+
+/// First-stage launch geometry a plan resolves (reported by the CLI and
+/// benches; the kernels recompute the same values when they run).
+struct GridShape {
+  u64 subproblems = 0;    ///< L: warp- or block-level tiles of the input
+  u32 blocks = 0;         ///< blocks of the first (pre-scan/labeling) kernel
+  u32 warps_per_block = 0;
+};
+
+/// A reusable multisplit execution plan.  Construction is pure host-side
+/// resolution (validate config, resolve kAuto, size the grid and scratch);
+/// run()/run_pairs() may be called any number of times with different
+/// buffer contents of the planned shape.
+class MultisplitPlan {
+ public:
+  /// Build a plan for splitting n keys into m buckets on `dev`.
+  /// `value_bytes` sizes the per-key payload for key-value use (0 =
+  /// key-only); it only affects the temp-storage estimate.  Throws
+  /// SimError (FaultKind::kInvalidConfig) for malformed configs and
+  /// logic_error for method/shape mismatches (m out of a method's range,
+  /// key-value with a key-only method).
+  MultisplitPlan(sim::Device& dev, u64 n, u32 m, MultisplitConfig cfg = {},
+                 u32 value_bytes = 0);
+
+  sim::Device& device() const { return *dev_; }
+  u64 n() const { return n_; }
+  u32 m() const { return m_; }
+  /// The concrete method this plan executes (never kAuto).
+  Method method() const { return method_; }
+  /// What the caller asked for (kAuto preserved for reporting).
+  Method requested_method() const { return requested_; }
+  /// The configuration the plan runs with (method resolved).
+  const MultisplitConfig& config() const { return cfg_; }
+  const GridShape& grid() const { return shape_; }
+  /// Device scratch the methods will request per run (bytes, rounded to
+  /// sectors): histogram/label/staging buffers plus the scan partial tree.
+  /// With pooling on, runs after the first are served from the free lists.
+  u64 temp_storage_bytes() const { return temp_bytes_; }
+
+  /// Key-only execution.  `in` must hold exactly n() keys.
+  template <typename BucketFn>
+  MultisplitResult run(const sim::DeviceBuffer<u32>& in,
+                       sim::DeviceBuffer<u32>& out, BucketFn bucket_of) const {
+    check_keys(in, out);
+    return detail::run_method<BucketFn, u32>(
+        method_, *dev_, in, out, detail::kNoValues, detail::kNoValuesOut, m_,
+        bucket_of, cfg_);
+  }
+
+  /// Key-value execution; values travel with their keys.
+  template <typename BucketFn, typename V>
+  MultisplitResult run_pairs(const sim::DeviceBuffer<u32>& keys_in,
+                             const sim::DeviceBuffer<V>& vals_in,
+                             sim::DeviceBuffer<u32>& keys_out,
+                             sim::DeviceBuffer<V>& vals_out,
+                             BucketFn bucket_of) const {
+    static_assert(std::is_same_v<V, u32> || std::is_same_v<V, u64>,
+                  "multisplit values are u32 or u64 (use a pointer otherwise)");
+    check_pairs(keys_in, vals_in.size(), keys_out, vals_out.size());
+    check(&vals_in != &vals_out, "multisplit: in and out must be distinct");
+    return detail::run_method<BucketFn, V>(method_, *dev_, keys_in, keys_out,
+                                           &vals_in, &vals_out, m_, bucket_of,
+                                           cfg_);
+  }
+
+  /// Type-erased overloads (see BucketFunction in common.hpp).
+  MultisplitResult run(const sim::DeviceBuffer<u32>& in,
+                       sim::DeviceBuffer<u32>& out,
+                       const BucketFunction& bucket_of) const;
+  MultisplitResult run_pairs(const sim::DeviceBuffer<u32>& keys_in,
+                             const sim::DeviceBuffer<u32>& vals_in,
+                             sim::DeviceBuffer<u32>& keys_out,
+                             sim::DeviceBuffer<u32>& vals_out,
+                             const BucketFunction& bucket_of) const;
+
+ private:
+  void check_keys(const sim::DeviceBuffer<u32>& in,
+                  const sim::DeviceBuffer<u32>& out) const;
+  void check_pairs(const sim::DeviceBuffer<u32>& keys_in, u64 vals_in_size,
+                   const sim::DeviceBuffer<u32>& keys_out,
+                   u64 vals_out_size) const;
+
+  sim::Device* dev_;
+  u64 n_;
+  u32 m_;
+  u32 value_bytes_;
+  Method requested_;
+  Method method_;
+  MultisplitConfig cfg_;
+  GridShape shape_;
+  u64 temp_bytes_ = 0;
+};
+
+}  // namespace ms::split

@@ -1,0 +1,68 @@
+#include "sim/allocator.hpp"
+
+namespace ms::sim {
+
+u64 CachingAllocator::allocate(u64 bytes) {
+  const u64 size = rounded(bytes);
+  stats_.alloc_count += 1;
+  stats_.bytes_requested += size;
+  stats_.bytes_live += size;
+  if (pooling_) {
+    auto it = free_lists_.find(size);
+    if (it != free_lists_.end() && !it->second.empty()) {
+      const u64 base = it->second.back();
+      it->second.pop_back();
+      if (it->second.empty()) free_lists_.erase(it);
+      stats_.reuse_hits += 1;
+      stats_.bytes_reused += size;
+      stats_.bytes_cached -= size;
+      return base;
+    }
+  }
+  const u64 base = next_addr_;
+  next_addr_ += size;
+  stats_.bytes_reserved = next_addr_;
+  return base;
+}
+
+void CachingAllocator::deallocate(u64 base, u64 bytes) {
+  const u64 size = rounded(bytes);
+  stats_.free_count += 1;
+  check(stats_.bytes_live >= size, "CachingAllocator: free without alloc");
+  stats_.bytes_live -= size;
+  if (!pooling_) return;  // legacy behavior: the range is abandoned
+  if (deferred_depth_ > 0) {
+    // Mid-run free: park it.  Reusing it now would hand later allocations
+    // of this run recycled addresses where the legacy allocator bumped,
+    // changing modeled costs; it becomes reusable when the run completes.
+    pending_.emplace_back(base, size);
+    return;
+  }
+  free_lists_[size].push_back(base);
+  stats_.bytes_cached += size;
+}
+
+void CachingAllocator::end_deferred_scope() {
+  check(deferred_depth_ > 0, "CachingAllocator: unbalanced deferred scope");
+  if (--deferred_depth_ > 0) return;
+  for (const auto& [base, size] : pending_) {
+    free_lists_[size].push_back(base);
+    stats_.bytes_cached += size;
+  }
+  pending_.clear();
+}
+
+void CachingAllocator::set_pooling(bool on) {
+  if (!on) trim();
+  pooling_ = on;
+}
+
+void CachingAllocator::trim() {
+  free_lists_.clear();
+  stats_.bytes_cached = 0;
+  // Pending frees of an open deferred scope are abandoned too: after a
+  // trim nothing previously freed may be handed out again.
+  pending_.clear();
+}
+
+}  // namespace ms::sim

@@ -1,0 +1,136 @@
+// Size-bucketed caching sub-allocator for the simulated device address
+// space, in the spirit of CUB's CachingDeviceAllocator.
+//
+// The device address space used to be a monotonic bump pointer: every
+// DeviceBuffer reserved a fresh sector-aligned range and nothing was ever
+// returned, so a serving-style loop of repeated multisplit calls grew the
+// simulated address space without bound and never re-hit L2 on its own
+// scratch.  CachingAllocator keeps the bump pointer for fresh reservations
+// but adds per-size free lists: a freed range is cached under its rounded
+// (sector-aligned) size and the next allocation of the same rounded size
+// reuses it, LIFO, before new address space is reserved.
+//
+// Determinism and bit-identical single-shot costs are design constraints
+// here (see DESIGN.md §10):
+//   - Free lists are keyed by the EXACT rounded size (not a power-of-two
+//     size class), so an allocation that misses the cache bumps the
+//     address space by exactly the amount the legacy allocator would have.
+//     A fresh Device therefore hands out bit-identical addresses to the
+//     legacy scheme until the first free+realloc cycle.
+//   - Reuse is LIFO per size class: the most recently freed range is
+//     handed out first.  This maximizes L2 re-hits and is fully
+//     deterministic (no address randomization, no coalescing heuristics).
+//   - set_pooling(false) drops frees on the floor, restoring the legacy
+//     bump-only behavior exactly; the plan_reuse bench uses this for an
+//     honest A/B of pooled vs per-call allocation.
+//   - A deferred scope (DeferredScope RAII, entered around every
+//     plan/method execution) parks frees in a pending list instead of the
+//     free lists, flushing when the scope closes.  Methods that free and
+//     reallocate scratch WITHIN one call (the recursive scan split's
+//     per-round buffers) therefore still see fresh bump addresses exactly
+//     like the legacy allocator -- reuse only ever happens BETWEEN runs,
+//     which is what keeps single-shot modeled costs bit-identical.
+//
+// The allocator tracks address ranges only -- backing storage lives in
+// each DeviceBuffer's host vector, and the sanitizer registers a fresh
+// shadow per allocation, so initcheck still flags reads of recycled
+// addresses that the new owner has not initialized.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace ms::sim {
+
+/// Lifetime counters for the device sub-allocator, surfaced through
+/// sim/metrics and the JSON reports (schema v4 `allocator` block).
+struct AllocatorStats {
+  u64 alloc_count = 0;      ///< allocate() calls
+  u64 free_count = 0;       ///< deallocate() calls (pooling on or off)
+  u64 reuse_hits = 0;       ///< allocations served from a free list
+  u64 bytes_requested = 0;  ///< sum of rounded sizes over all allocations
+  u64 bytes_reused = 0;     ///< portion of bytes_requested served from cache
+  u64 bytes_reserved = 0;   ///< high-water address space (the bump pointer)
+  u64 bytes_cached = 0;     ///< currently sitting on free lists
+  u64 bytes_live = 0;       ///< currently allocated to live buffers
+};
+
+class CachingAllocator {
+ public:
+  /// `alignment` is the rounding granularity for both the address and the
+  /// size of every range (the Device passes its L2 sector size).
+  explicit CachingAllocator(u64 alignment) : align_(alignment) {
+    check(alignment > 0, "CachingAllocator: alignment must be nonzero");
+  }
+
+  /// Reserve a range of `bytes` (rounded up to the alignment; zero-byte
+  /// requests still occupy one aligned slot so every buffer has a unique
+  /// base).  Returns the base address: a recycled range of the same
+  /// rounded size when one is cached, fresh address space otherwise.
+  u64 allocate(u64 bytes);
+
+  /// Return the range starting at `base` to the free list.  `bytes` must
+  /// be the size passed to the matching allocate().  With pooling off the
+  /// range is abandoned instead (legacy bump-only behavior); inside a
+  /// deferred scope it parks on the pending list until the scope closes.
+  void deallocate(u64 base, u64 bytes);
+
+  /// Defer frees while a multi-kernel operation executes: deallocate()
+  /// parks ranges on a pending list, and the close of the outermost scope
+  /// flushes them to the free lists.  Keeps within-call alloc/free/alloc
+  /// sequences bump-identical to the legacy allocator while still letting
+  /// the NEXT run reuse this run's scratch.  Scopes nest.
+  void begin_deferred_scope() { ++deferred_depth_; }
+  void end_deferred_scope();
+
+  /// RAII deferred scope; exception-safe (a sanitizer abort mid-run still
+  /// flushes the pending frees on unwind).
+  class DeferredScope {
+   public:
+    explicit DeferredScope(CachingAllocator& a) : a_(a) {
+      a_.begin_deferred_scope();
+    }
+    ~DeferredScope() { a_.end_deferred_scope(); }
+    DeferredScope(const DeferredScope&) = delete;
+    DeferredScope& operator=(const DeferredScope&) = delete;
+
+   private:
+    CachingAllocator& a_;
+  };
+
+  /// Enable/disable reuse.  Off: deallocate() abandons ranges and
+  /// allocate() always bumps, byte-for-byte the pre-pooling allocator.
+  void set_pooling(bool on);
+  bool pooling() const { return pooling_; }
+
+  /// Drop every cached range (they cannot be handed out again).  Stats
+  /// keep their lifetime totals; bytes_cached drops to zero.
+  void trim();
+
+  const AllocatorStats& stats() const { return stats_; }
+
+  /// High-water mark of the bump pointer == total address space ever
+  /// reserved.  Bounded under alloc/free cycles with pooling on.
+  u64 reserved_bytes() const { return next_addr_; }
+
+ private:
+  u64 rounded(u64 bytes) const {
+    return ceil_div(bytes == 0 ? u64{1} : bytes, align_) * align_;
+  }
+
+  u64 align_;
+  u64 next_addr_ = 0;
+  bool pooling_ = true;
+  u32 deferred_depth_ = 0;
+  /// rounded size -> LIFO stack of cached base addresses.  std::map keeps
+  /// iteration (trim, accounting) deterministic.
+  std::map<u64, std::vector<u64>> free_lists_;
+  /// Frees parked inside a deferred scope, in free order: (base, rounded
+  /// size).  Flushed to free_lists_ when the outermost scope closes.
+  std::vector<std::pair<u64, u64>> pending_;
+  AllocatorStats stats_;
+};
+
+}  // namespace ms::sim

@@ -34,7 +34,8 @@ u32 default_host_threads() {
 
 Device::Device(DeviceProfile profile)
     : profile_(std::move(profile)),
-      l2_(profile_.l2_bytes, profile_.l2_ways, profile_.transaction_bytes) {
+      l2_(profile_.l2_bytes, profile_.l2_ways, profile_.transaction_bytes),
+      alloc_(profile_.transaction_bytes) {
   host_threads_ = default_host_threads();
   sites_.push_back(SiteStats{"other", {}});  // SiteId 0 == kSiteOther
   writeback_site_ = site_id("sim/l2_writeback");
@@ -96,10 +97,11 @@ const KernelRecord& Device::end_kernel() {
 }
 
 u64 Device::allocate_address_range(u64 bytes) {
-  const u64 align = profile_.transaction_bytes;
-  const u64 base = next_addr_;
-  next_addr_ += ceil_div(bytes == 0 ? 1 : bytes, align) * align;
-  return base;
+  return alloc_.allocate(bytes);
+}
+
+void Device::free_address_range(u64 base, u64 bytes) {
+  alloc_.deallocate(base, bytes);
 }
 
 void Device::touch_read_sectors(u64 first_sector, u32 segments) {

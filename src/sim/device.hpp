@@ -19,6 +19,7 @@
 
 #include <optional>
 
+#include "sim/allocator.hpp"
 #include "sim/cache.hpp"
 #include "sim/cost_model.hpp"
 #include "sim/counters.hpp"
@@ -74,7 +75,15 @@ class Device {
 
   // --- address space for DeviceBuffer allocations ---
   /// Reserve `bytes` of device address space, aligned to a sector.
+  /// Served by the caching sub-allocator: a recycled range of the same
+  /// rounded size when one is pooled, fresh address space otherwise.
   u64 allocate_address_range(u64 bytes);
+  /// Return a range to the allocator's pool (DeviceBuffer destructor).
+  /// `bytes` must be the size passed to the matching allocate call.
+  void free_address_range(u64 base, u64 bytes);
+  /// The device sub-allocator (pooling toggle, trim, reuse stats).
+  CachingAllocator& allocator() { return alloc_; }
+  const CachingAllocator& allocator() const { return alloc_; }
 
   // --- event recording (used by Warp/Block contexts) ---
   /// The counter sink of the executing context: the thread-local shard
@@ -202,7 +211,7 @@ class Device {
   std::string current_name_;
   u32 current_peak_smem_ = 0;
   bool in_kernel_ = false;
-  u64 next_addr_ = 0;
+  CachingAllocator alloc_;  // initialized from profile_.transaction_bytes
   std::vector<KernelRecord> records_;
   std::vector<RegionRecord> regions_;
 

@@ -60,7 +60,7 @@ class DeviceBuffer {
         shadow_(std::exchange(o.shadow_, nullptr)) {}
   DeviceBuffer& operator=(DeviceBuffer&& o) noexcept {
     if (this != &o) {
-      release_shadow();
+      release();
       dev_ = std::exchange(o.dev_, nullptr);
       base_addr_ = std::exchange(o.base_addr_, 0);
       data_ = std::move(o.data_);
@@ -70,7 +70,7 @@ class DeviceBuffer {
     return *this;
   }
 
-  ~DeviceBuffer() { release_shadow(); }
+  ~DeviceBuffer() { release(); }
 
   u64 size() const { return data_.size(); }
   bool empty() const { return data_.empty(); }
@@ -137,11 +137,17 @@ class DeviceBuffer {
     throw SimError(std::move(ctx));
   }
 
-  void release_shadow() {
-    if (shadow_ != nullptr && dev_ != nullptr) {
+  /// Drop the shadow registration and return the address range to the
+  /// device's pool.  A later allocation of the same rounded size may get
+  /// this range back; it registers a fresh shadow, so initcheck still
+  /// flags reads of the recycled range before the new owner writes it.
+  void release() {
+    if (dev_ == nullptr) return;  // default-constructed or moved-from
+    if (shadow_ != nullptr) {
       dev_->sanitizer().on_buffer_free(base_addr_);
       shadow_ = nullptr;
     }
+    dev_->free_address_range(base_addr_, data_.size() * sizeof(T));
   }
 
   Device* dev_;

@@ -338,6 +338,7 @@ MetricsReport analyze_device(Device& dev, const RuleThresholds& th) {
   const DeviceProfile& p = dev.profile();
   MetricsReport rep;
   rep.device = p.name;
+  rep.allocator = dev.allocator().stats();
 
   f64 mem_sum = 0.0, issue_sum = 0.0;
   u32 run_peak = 0;
@@ -529,6 +530,21 @@ void write_metrics_json(JsonWriter& w, const MetricsReport& rep) {
   write_events_fields(w, rep.events);
   w.end_object();
 
+  // Device sub-allocator stats (schema v4): address-space and pool-reuse
+  // accounting over the device's lifetime.  Deterministic host-side
+  // counters, so the tolerance-0 gates compare them exactly too.
+  w.key("allocator");
+  w.begin_object();
+  w.field("alloc_count", rep.allocator.alloc_count);
+  w.field("free_count", rep.allocator.free_count);
+  w.field("reuse_hits", rep.allocator.reuse_hits);
+  w.field("bytes_requested", rep.allocator.bytes_requested);
+  w.field("bytes_reused", rep.allocator.bytes_reused);
+  w.field("bytes_reserved", rep.allocator.bytes_reserved);
+  w.field("bytes_cached", rep.allocator.bytes_cached);
+  w.field("bytes_live", rep.allocator.bytes_live);
+  w.end_object();
+
   w.key("kernels");
   w.begin_array();
   for (const auto& g : rep.kernels) {
@@ -591,8 +607,9 @@ std::string num_str(f64 v) {
 /// subset of these members they carry (bench results by method/m/key_value,
 /// kernel groups by name, site entries by label).
 std::string identity_of(const JsonValue& v) {
-  static constexpr std::array<const char*, 6> kIdKeys = {
-      "method", "name", "label", "kernel", "m", "key_value"};
+  static constexpr std::array<const char*, 7> kIdKeys = {
+      "method", "method_selected", "name", "label", "kernel", "m",
+      "key_value"};
   if (!v.is_object()) return {};
   std::string id;
   for (const char* k : kIdKeys) {

@@ -32,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/allocator.hpp"
 #include "sim/events.hpp"
 #include "sim/json.hpp"
 #include "sim/profile.hpp"
@@ -44,7 +45,9 @@ class Device;
 /// --json, bench --json, metrics sections, diff output).  Consumers
 /// (check_bench.py, ms_cli diff) reject mismatched versions instead of
 /// mis-parsing.  Bump when a field changes meaning or moves.
-inline constexpr u32 kReportSchemaVersion = 3;
+/// v4: reports gain the device sub-allocator stats block ("allocator")
+/// and result rows record the concrete method ("method_selected").
+inline constexpr u32 kReportSchemaVersion = 4;
 
 /// Which modeled pipe a kernel (or run) saturates.  Classified with a 5%
 /// margin: within it the two pipes are "balanced".
@@ -182,6 +185,7 @@ struct MetricsReport {
   u64 launches = 0;
   KernelEvents events;
   DerivedMetrics aggregate;
+  AllocatorStats allocator;                 // device-lifetime pool stats
   std::vector<KernelGroupMetrics> kernels;  // first-launch order
   std::vector<SiteMetrics> sites;           // registration order, non-empty
   std::vector<Diagnosis> diagnoses;         // most severe first

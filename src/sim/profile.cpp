@@ -18,6 +18,10 @@ DeviceProfile DeviceProfile::tesla_k40c() {
   // and their latency is only partially hidden, so a fragmented access
   // costs more than its line count alone.
   p.scatter_issue_penalty = 1.5;
+  // Paper Table 4/Figure 8: warp-level MS leads through m ~ 6 on the K40c,
+  // block-level through the shared-memory histogram limit.
+  p.auto_warp_level_max_m = 6;
+  p.auto_block_level_max_m = 256;
   return p;
 }
 
@@ -37,6 +41,10 @@ DeviceProfile DeviceProfile::gtx_750_ti() {
   // latency is hidden less well than on the K40c (paper Section 6.3).
   p.scatter_issue_penalty = 2.0;
   p.max_resident_blocks = 32;
+  // Maxwell punishes the warp-level method's scattered writes sooner, so
+  // the block-level crossover arrives at smaller m (paper Section 6.3).
+  p.auto_warp_level_max_m = 4;
+  p.auto_block_level_max_m = 256;
   return p;
 }
 

@@ -68,6 +68,15 @@ struct DeviceProfile {
   /// this ceiling.
   u32 max_resident_blocks = 16;
 
+  /// Method::kAuto crossover table (paper Section 6's guidance, stored per
+  /// device because the crossovers shift with how hard the part punishes
+  /// non-coalesced traffic): warp-level multisplit wins up to
+  /// auto_warp_level_max_m buckets, block-level through
+  /// auto_block_level_max_m, and beyond that the shared-memory histogram
+  /// per block stops paying and reduced-bit sort takes over.
+  u32 auto_warp_level_max_m = 6;
+  u32 auto_block_level_max_m = 256;
+
   static DeviceProfile tesla_k40c();
   static DeviceProfile gtx_750_ti();
   static DeviceProfile speed_of_light();

@@ -18,6 +18,8 @@ const char* to_string(FaultKind k) {
     case FaultKind::kRaceHazard: return "shared-memory hazard (racecheck)";
     case FaultKind::kSmemOvercommit:
       return "shared-memory overcommit (warning)";
+    case FaultKind::kInvalidConfig:
+      return "invalid multisplit configuration";
     case FaultKind::kLaunchFailure: return "kernel launch failure";
   }
   return "unknown fault";

@@ -53,6 +53,7 @@ enum class FaultKind : u8 {
   kUninitSharedRead, // initcheck: read of never-written shared word
   kRaceHazard,       // racecheck: cross-warp same-epoch shared access
   kSmemOvercommit,   // warning: shared allocation beyond device capacity
+  kInvalidConfig,    // malformed MultisplitConfig rejected at plan build
   kLaunchFailure,    // a kernel launch was aborted by a fault
 };
 

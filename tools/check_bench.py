@@ -31,7 +31,9 @@ from pathlib import Path
 # Must match kReportSchemaVersion in src/sim/metrics.hpp.
 # v3: benches report host wall-clock (host_ms / host_keys_per_sec); these
 # fields vary run to run and are never compared by this checker.
-SCHEMA_VERSION = 3
+# v4: reports carry the device sub-allocator stats block ("allocator") and
+# result rows record the concrete method that ran ("method_selected").
+SCHEMA_VERSION = 4
 
 # Per-site counters compared exactly under --sites.  Integer event counts:
 # any deviation is a real behavior change, never rounding.

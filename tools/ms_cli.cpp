@@ -38,16 +38,13 @@ using namespace ms;
 
 namespace {
 
-const std::map<std::string, split::Method> kMethods = {
-    {"direct", split::Method::kDirect},
-    {"warp", split::Method::kWarpLevel},
-    {"block", split::Method::kBlockLevel},
-    {"scan_split", split::Method::kScanSplit},
-    {"recursive_split", split::Method::kRecursiveScanSplit},
-    {"reduced_bit", split::Method::kReducedBitSort},
-    {"randomized", split::Method::kRandomizedInsertion},
-    {"fused_sort", split::Method::kFusedBucketSort},
-};
+/// All concrete methods, dispatch-table order (the `--method all` sweep).
+std::vector<split::Method> concrete_methods() {
+  std::vector<split::Method> out;
+  for (u32 i = 0; i < split::kConcreteMethodCount; ++i)
+    out.push_back(static_cast<split::Method>(i));
+  return out;
+}
 
 const std::map<std::string, workload::Distribution> kDists = {
     {"uniform", workload::Distribution::kUniform},
@@ -60,8 +57,10 @@ const std::map<std::string, workload::Distribution> kDists = {
 void usage(const char* argv0) {
   std::printf(
       "usage: %s [options]\n"
-      "  --method <name|all>   one of:", argv0);
-  for (const auto& [name, _] : kMethods) std::printf(" %s", name.c_str());
+      "  --method <name|all>   auto (paper-guided selection) or one of:",
+      argv0);
+  for (const auto meth : concrete_methods())
+    std::printf(" %s", split::method_token(meth).c_str());
   std::printf(
       "\n"
       "  --m <buckets>         bucket count (default 8)\n"
@@ -132,15 +131,17 @@ u64 run_one(const Args& a, const std::string& name, split::Method method,
   split::MultisplitResult r;
   const auto host_t0 = std::chrono::steady_clock::now();
   try {
+    // Build the plan once (validates the config and resolves kAuto before
+    // any device work), then run it through the plan API.
+    const split::MultisplitPlan plan(dev, n, a.m, cfg,
+                                     a.kv ? static_cast<u32>(sizeof(u32)) : 0);
     if (a.kv) {
       const auto vals = workload::identity_values(n);
       sim::DeviceBuffer<u32> vin(dev, std::span<const u32>(vals), "vin");
       sim::DeviceBuffer<u32> kout(dev, n, "kout"), vout(dev, n, "vout");
-      r = split::multisplit_pairs(dev, in, vin, kout, vout, a.m,
-                                  split::RangeBucket{a.m}, cfg);
+      r = plan.run_pairs(in, vin, kout, vout, split::RangeBucket{a.m});
     } else {
-      r = split::multisplit_keys(dev, in, out, a.m, split::RangeBucket{a.m},
-                                 cfg);
+      r = plan.run(in, out, split::RangeBucket{a.m});
     }
   } catch (const std::logic_error& e) {
     std::printf("%-16s unsupported for this configuration: %s\n", name.c_str(),
@@ -162,10 +163,15 @@ u64 run_one(const Args& a, const std::string& name, split::Method method,
   }
 
   const auto& ev = r.summary.events;
+  // With --method auto, show what the plan resolved to.
+  const std::string shown =
+      method == split::Method::kAuto
+          ? name + "->" + split::method_token(r.method_selected)
+          : name;
   std::printf(
       "%-16s %9.3f ms (%6.2f Gkeys/s) | pre %7.3f scan %7.3f post %7.3f | "
       "coalescing %4.0f%% | %llu kernels\n",
-      name.c_str(), r.total_ms(),
+      shown.c_str(), r.total_ms(),
       static_cast<f64>(n) / (r.total_ms() * 1e6), r.stages.prescan_ms,
       r.stages.scan_ms, r.stages.postscan_ms,
       100.0 * sim::coalescing_efficiency(ev, dev.profile()),
@@ -192,6 +198,7 @@ u64 run_one(const Args& a, const std::string& name, split::Method method,
     auto& w = *jw;
     w.begin_object();
     w.field("method", name);
+    w.field("method_selected", split::method_token(r.method_selected));
     w.field("total_ms", r.total_ms());
     w.field("rate_gkeys", static_cast<f64>(n) / (r.total_ms() * 1e6));
     w.field("host_ms", host_ms);
@@ -376,8 +383,11 @@ int main(int argc, char** argv) {
     else if (!std::strcmp(argv[i], "--json")) a.json_path = next();
     else if (!std::strcmp(argv[i], "--trace")) a.trace_path = next();
     else if (!std::strcmp(argv[i], "--list")) {
-      for (const auto& [name, meth] : kMethods)
-        std::printf("%-16s %s\n", name.c_str(), to_string(meth).c_str());
+      for (const auto meth : concrete_methods())
+        std::printf("%-16s %s\n", split::method_token(meth).c_str(),
+                    to_string(meth).c_str());
+      std::printf("%-16s %s\n", "auto",
+                  "paper-guided selection (warp/block/reduced-bit by m)");
       return 0;
     } else {
       usage(argv[0]);
@@ -435,10 +445,11 @@ int main(int argc, char** argv) {
               a.device.c_str());
   u64 sanitizer_errors = 0;
   if (a.method == "all") {
-    for (const auto& [name, meth] : kMethods)
-      sanitizer_errors += run_one(a, name, meth, scfgp, jwp);
-  } else if (kMethods.contains(a.method)) {
-    sanitizer_errors += run_one(a, a.method, kMethods.at(a.method), scfgp, jwp);
+    for (const auto meth : concrete_methods())
+      sanitizer_errors +=
+          run_one(a, split::method_token(meth), meth, scfgp, jwp);
+  } else if (const auto meth = split::parse_method(a.method)) {
+    sanitizer_errors += run_one(a, a.method, *meth, scfgp, jwp);
   } else {
     std::printf("unknown method '%s'\n", a.method.c_str());
     usage(argv[0]);
