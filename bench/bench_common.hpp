@@ -22,6 +22,7 @@
 
 #include "multisplit/multisplit.hpp"
 #include "sim/metrics.hpp"
+#include "sim/telemetry.hpp"
 #include "workload/distributions.hpp"
 
 namespace ms::bench {
@@ -42,9 +43,14 @@ struct Options {
   std::optional<split::Method> method;
   std::string json_path;   // --json <file>: machine-readable report
   std::string trace_path;  // --trace <file>: Chrome trace of the first run
+  /// --telemetry <file>: JSONL telemetry timeline (sim/telemetry.hpp) of
+  /// the first instrumented device in the process (plan_reuse wires it to
+  /// the pooled serving loop instead -- the interesting timeline).
+  std::string telemetry_path;
   /// Set once the first run has emitted its trace (only one run per process
   /// gets the trace -- otherwise later runs would overwrite it).
   mutable bool trace_written = false;
+  mutable bool telemetry_written = false;
 
   /// Strict parser: unknown flags, missing values, and unknown device
   /// names are hard errors (exit 2), not silent fallbacks.  Benches that
@@ -103,8 +109,11 @@ struct Options {
         o.json_path = value("--json");
       } else if (!std::strcmp(argv[i], "--trace") && machine_readable) {
         o.trace_path = value("--trace");
+      } else if (!std::strcmp(argv[i], "--telemetry") && machine_readable) {
+        o.telemetry_path = value("--telemetry");
       } else if (!std::strcmp(argv[i], "--json") ||
-                 !std::strcmp(argv[i], "--trace")) {
+                 !std::strcmp(argv[i], "--trace") ||
+                 !std::strcmp(argv[i], "--telemetry")) {
         std::fprintf(stderr, "%s: %s is not supported by this bench\n",
                      argv[0], argv[i]);
         std::exit(2);
@@ -114,7 +123,9 @@ struct Options {
             "[--device k40c|750ti|sol] [--trials k] [--host-threads k] "
             "[--method <token|auto>]%s\n",
             argv[0],
-            machine_readable ? " [--json <file>] [--trace <file>]" : "");
+            machine_readable
+                ? " [--json <file>] [--trace <file>] [--telemetry <file>]"
+                : "");
         std::exit(0);
       } else {
         std::fprintf(stderr, "%s: unknown flag '%s' (try --help)\n", argv[0],
@@ -157,9 +168,15 @@ struct Measurement {
   f64 rate_gkeys = 0.0;        // at the paper's n
   /// Host (simulator) wall-clock per trial, *not* rescaled and *not* part
   /// of the modeled results: it measures how fast the simulation itself
-  /// ran (the parallel scheduler's speedup shows up here).
-  f64 host_ms = 0.0;
-  f64 host_keys_per_sec = 0.0;  // measured n / host_ms
+  /// ran (the parallel scheduler's speedup shows up here).  The first
+  /// trial is a warm-up (first-touch page faults, lazily-spawned worker
+  /// pool) and is excluded whenever more than one trial runs; both the
+  /// mean and the min of the remaining trials are reported, and
+  /// host_keys_per_sec uses the min -- the stable statistic history-based
+  /// regression tracking needs (tools/bench_history.py).
+  f64 host_ms = 0.0;      // mean over non-warm-up trials
+  f64 host_ms_min = 0.0;  // fastest non-warm-up trial
+  f64 host_keys_per_sec = 0.0;  // measured n / host_ms_min
   /// Concrete method the measured runs executed (kAuto resolved); kAuto
   /// only if run_once never produced a result.
   split::Method method_selected = split::Method::kAuto;
@@ -169,20 +186,34 @@ template <typename Runner>
 Measurement measure(const Options& opt, Runner&& run_once) {
   Measurement m;
   f64 kernels = 0;
-  const auto host_t0 = std::chrono::steady_clock::now();
+  std::vector<f64> trial_ms(opt.trials, 0.0);
   for (u32 t = 0; t < opt.trials; ++t) {
+    const auto host_t0 = std::chrono::steady_clock::now();
     const split::MultisplitResult r = run_once(t);
+    const auto host_t1 = std::chrono::steady_clock::now();
+    trial_ms[t] =
+        std::chrono::duration<f64, std::milli>(host_t1 - host_t0).count();
     m.stages.prescan_ms += r.stages.prescan_ms;
     m.stages.scan_ms += r.stages.scan_ms;
     m.stages.postscan_ms += r.stages.postscan_ms;
     kernels += static_cast<f64>(r.summary.kernels);
     m.method_selected = r.method_selected;
   }
-  const auto host_t1 = std::chrono::steady_clock::now();
-  m.host_ms = std::chrono::duration<f64, std::milli>(host_t1 - host_t0).count() /
-              opt.trials;
+  // Host statistics skip the warm-up trial when there is one to skip;
+  // modeled stage averages keep using every trial (they are deterministic
+  // per seed -- warm-up does not exist on the modeled timeline).
+  const u32 first = opt.trials > 1 ? 1u : 0u;
+  f64 host_sum = 0.0;
+  m.host_ms_min = trial_ms[first];
+  for (u32 t = first; t < opt.trials; ++t) {
+    host_sum += trial_ms[t];
+    m.host_ms_min = std::min(m.host_ms_min, trial_ms[t]);
+  }
+  m.host_ms = host_sum / static_cast<f64>(opt.trials - first);
   m.host_keys_per_sec =
-      m.host_ms > 0 ? static_cast<f64>(opt.n()) / (m.host_ms * 1e-3) : 0.0;
+      m.host_ms_min > 0
+          ? static_cast<f64>(opt.n()) / (m.host_ms_min * 1e-3)
+          : 0.0;
   m.stages.prescan_ms /= opt.trials;
   m.stages.scan_ms /= opt.trials;
   m.stages.postscan_ms /= opt.trials;
@@ -224,6 +255,12 @@ inline split::MultisplitResult run_multisplit(
   const u64 n = opt.n();
   const auto host = workload::generate_keys(n, wc);
   sim::Device dev(opt.profile());
+  // Like --trace: the first run in the process gets the telemetry timeline
+  // (benches with their own serving loop, e.g. plan_reuse, wire the flag
+  // to that loop's device instead before any run_multisplit happens).
+  const bool telemetry_here =
+      !opt.telemetry_path.empty() && !opt.telemetry_written;
+  if (telemetry_here) dev.enable_telemetry();
   sim::DeviceBuffer<u32> in(dev, std::span<const u32>(host)), out(dev, n);
   split::MultisplitConfig cfg;
   cfg.method = opt.method.value_or(method);
@@ -239,6 +276,11 @@ inline split::MultisplitResult run_multisplit(
     if (metrics_out != nullptr) *metrics_out = sim::analyze_device(dev);
     if (!opt.trace_path.empty() && !opt.trace_written)
       opt.trace_written = sim::write_chrome_trace_file(dev, opt.trace_path);
+    if (telemetry_here && dev.telemetry() != nullptr) {
+      dev.telemetry()->sample_now();
+      opt.telemetry_written = sim::write_timeline_jsonl_file(
+          opt.telemetry_path, *dev.telemetry(), "bench", opt.profile().name);
+    }
     return r;
   };
   if (!key_value) {

@@ -49,6 +49,11 @@ ModeResult run_mode(const Options& opt, u32 m, bool pooled) {
   const u64 n = opt.n();
   sim::Device dev(opt.profile());
   dev.allocator().set_pooling(pooled);
+  // --telemetry instruments the pooled serving loop (the timeline the
+  // EXPERIMENTS.md walkthrough reads: allocator reuse ramp, L2 hit-rate
+  // climb, per-request latency percentiles over the iterations).
+  const bool telemetered = pooled && !opt.telemetry_path.empty();
+  if (telemetered) dev.enable_telemetry();
 
   split::MultisplitConfig cfg;
   cfg.method = opt.method.value_or(split::Method::kBlockLevel);
@@ -89,6 +94,42 @@ ModeResult run_mode(const Options& opt, u32 m, bool pooled) {
   res.l2_read_hit_pct = mrep.aggregate.l2_read_hit_pct;
   res.launch_overhead_pct = mrep.aggregate.launch_overhead_pct;
   res.alloc = dev.allocator().stats();
+
+  if (telemetered) {
+    sim::Telemetry& t = *dev.telemetry();
+    t.sample_now();  // final-state snapshot closes the timeline
+    const sim::TelemetrySnapshot& last = *t.latest();
+    const auto scalar = [&](std::string_view name) {
+      for (const auto& s : last.scalars) {
+        if (s.name == name) return s.value;
+      }
+      return -1.0;
+    };
+    // The timeline's final snapshot must reproduce the report's aggregates
+    // (the acceptance contract for the telemetry layer: sampling the live
+    // instruments converges on the same numbers analyze_device computes
+    // from the kernel log).
+    check(std::abs(scalar("l2.read_hit_pct_cum") - res.l2_read_hit_pct) <
+              1e-9,
+          "plan_reuse: telemetry L2 hit rate diverges from the report");
+    check(scalar("allocator.reuse_hits") ==
+              static_cast<f64>(res.alloc.reuse_hits),
+          "plan_reuse: telemetry reuse hits diverge from the report");
+    check(scalar("allocator.bytes_reserved") ==
+              static_cast<f64>(res.alloc.bytes_reserved),
+          "plan_reuse: telemetry reserved bytes diverge from the report");
+    const auto request_count = [&] {
+      for (const auto& h : last.histograms) {
+        if (h.name == "request.modeled_ms") return h.count;
+      }
+      return u64{0};
+    }();
+    check(request_count == kIterations,
+          "plan_reuse: telemetry request count diverges from the loop");
+    opt.telemetry_written = sim::write_timeline_jsonl_file(
+        opt.telemetry_path, t, "plan_reuse", opt.profile().name);
+    check(opt.telemetry_written, "plan_reuse: cannot write --telemetry file");
+  }
   return res;
 }
 

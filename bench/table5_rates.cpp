@@ -66,6 +66,7 @@ int main(int argc, char** argv) {
           w.field("rate_gkeys", meas.rate_gkeys);
           w.field("total_ms", meas.total_ms);
           w.field("host_ms", meas.host_ms);
+          w.field("host_ms_min", meas.host_ms_min);
           w.field("host_keys_per_sec", meas.host_keys_per_sec);
           w.key("stages").begin_object();
           w.field("prescan_ms", meas.stages.prescan_ms);

@@ -31,6 +31,7 @@
 #include "multisplit/scan_split.hpp"
 #include "multisplit/sort_baselines.hpp"
 #include "multisplit/warp_ms.hpp"
+#include "sim/telemetry.hpp"
 
 namespace ms::split {
 
@@ -123,14 +124,23 @@ MultisplitResult run_method(Method method, sim::Device& dev,
                             BucketFn bucket_of, const MultisplitConfig& cfg) {
   const u32 idx = static_cast<u32>(method);
   check(idx < kConcreteMethodCount, "multisplit: method not resolved");
+  // Request bracket for serving telemetry: no-op unless the device has a
+  // registry attached; records host + modeled latency per request.
+  sim::TelemetryRequestScope telem(dev);
   // Park scratch frees until this run completes: within-call alloc/free
   // churn (the recursive scan split's per-round buffers) must see fresh
   // bump addresses for bit-identical single-shot costs; the NEXT run then
   // reuses everything this run freed.
-  const sim::CachingAllocator::DeferredScope scope(dev.allocator());
-  MultisplitResult r = method_table<BucketFn, V>()[idx].run(
-      dev, in, out, vals_in, vals_out, m, bucket_of, cfg);
+  MultisplitResult r;
+  {
+    const sim::CachingAllocator::DeferredScope scope(dev.allocator());
+    r = method_table<BucketFn, V>()[idx].run(dev, in, out, vals_in, vals_out,
+                                             m, bucket_of, cfg);
+  }
   r.method_selected = method;
+  // finish() after the scope closed: a snapshot taken at this tick sees
+  // the allocator with this run's scratch already back on the free lists.
+  telem.finish(r.total_ms());
   return r;
 }
 

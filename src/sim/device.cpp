@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdio>
 #include <cstdlib>
 
+#include "sim/telemetry.hpp"
 #include "sim/threadpool.hpp"
 
 namespace ms::sim {
@@ -92,7 +94,12 @@ const KernelRecord& Device::end_kernel() {
   rec.time_ms = c.time_ms;
   rec.mem_time_ms = c.mem_time_ms;
   rec.issue_time_ms = c.issue_time_ms;
+  lifetime_ms_ += c.time_ms;
+  lifetime_launches_ += 1;
+  lifetime_l2_read_segments_ += rec.events.l2_read_segments;
+  lifetime_dram_read_tx_ += rec.events.dram_read_tx;
   records_.push_back(std::move(rec));
+  if (telem_ != nullptr) telem_->tick();
   return records_.back();
 }
 
@@ -214,6 +221,92 @@ void Device::flush_site_delta() {
 
 Device::~Device() = default;
 
+Telemetry& Device::enable_telemetry(const TelemetryConfig& cfg) {
+  if (telem_ != nullptr) return *telem_;
+  telem_ = std::make_unique<Telemetry>(cfg);
+  // Interval state lives in a shared_ptr captured by the provider: the
+  // deltas between consecutive snapshots turn lifetime totals into
+  // interval rates (L2 hit rate per interval, reuse-hit rate per
+  // interval, per-worker busy fraction of the sampling window).
+  struct IntervalState {
+    u64 l2_reads = 0;
+    u64 dram_reads = 0;
+    u64 allocs = 0;
+    u64 reuse_hits = 0;
+    std::vector<f64> busy_ms;  // per worker, cumulative at last sample
+  };
+  auto st = std::make_shared<IntervalState>();
+  telem_->add_provider([this, st](std::vector<ScalarSample>& out, f64 dt_ms) {
+    out.push_back({"device.modeled_ms", lifetime_ms_});
+    out.push_back({"device.launches", static_cast<f64>(lifetime_launches_)});
+
+    const AllocatorStats& a = alloc_.stats();
+    out.push_back({"allocator.bytes_live", static_cast<f64>(a.bytes_live)});
+    out.push_back({"allocator.bytes_cached", static_cast<f64>(a.bytes_cached)});
+    out.push_back(
+        {"allocator.bytes_reserved", static_cast<f64>(a.bytes_reserved)});
+    out.push_back({"allocator.alloc_count", static_cast<f64>(a.alloc_count)});
+    out.push_back({"allocator.reuse_hits", static_cast<f64>(a.reuse_hits)});
+    const u64 d_allocs = a.alloc_count - st->allocs;
+    const u64 d_hits = a.reuse_hits - st->reuse_hits;
+    out.push_back({"allocator.reuse_hit_pct",
+                   d_allocs > 0 ? 100.0 * static_cast<f64>(d_hits) /
+                                      static_cast<f64>(d_allocs)
+                                : 0.0});
+    out.push_back({"allocator.reuse_hit_pct_cum",
+                   a.alloc_count > 0 ? 100.0 * static_cast<f64>(a.reuse_hits) /
+                                           static_cast<f64>(a.alloc_count)
+                                     : 0.0});
+    st->allocs = a.alloc_count;
+    st->reuse_hits = a.reuse_hits;
+
+    const u64 d_l2 = lifetime_l2_read_segments_ - st->l2_reads;
+    const u64 d_dram = lifetime_dram_read_tx_ - st->dram_reads;
+    out.push_back(
+        {"l2.read_hit_pct",
+         d_l2 > 0 ? 100.0 * (1.0 - static_cast<f64>(std::min(d_dram, d_l2)) /
+                                       static_cast<f64>(d_l2))
+                  : 0.0});
+    out.push_back(
+        {"l2.read_hit_pct_cum",
+         lifetime_l2_read_segments_ > 0
+             ? 100.0 *
+                   (1.0 - static_cast<f64>(std::min(
+                              lifetime_dram_read_tx_,
+                              lifetime_l2_read_segments_)) /
+                              static_cast<f64>(lifetime_l2_read_segments_))
+             : 0.0});
+    st->l2_reads = lifetime_l2_read_segments_;
+    st->dram_reads = lifetime_dram_read_tx_;
+
+    if (pool_ != nullptr) {
+      out.push_back({"pool.workers", static_cast<f64>(pool_->size())});
+      out.push_back(
+          {"pool.queue_depth", static_cast<f64>(pool_->queue_depth())});
+      const auto ws = pool_->worker_stats();
+      st->busy_ms.resize(ws.size(), 0.0);
+      f64 total_busy = 0.0;
+      for (u32 i = 0; i < ws.size(); ++i) {
+        const f64 d_busy = ws[i].busy_ms - st->busy_ms[i];
+        st->busy_ms[i] = ws[i].busy_ms;
+        total_busy += d_busy;
+        char name[32];
+        std::snprintf(name, sizeof(name), "pool.w%u.busy_frac", i);
+        out.push_back({name, dt_ms > 0.0 ? d_busy / dt_ms : 0.0});
+      }
+      out.push_back({"pool.busy_frac",
+                     dt_ms > 0.0 && !ws.empty()
+                         ? total_busy / (dt_ms * static_cast<f64>(ws.size()))
+                         : 0.0});
+    }
+  });
+  return *telem_;
+}
+
+Telemetry& Device::enable_telemetry() {
+  return enable_telemetry(TelemetryConfig{});
+}
+
 void Device::set_host_threads(u32 threads) {
   check(!in_kernel_, "set_host_threads: kernel executing");
   host_threads_ = threads == 0 ? default_host_threads() : threads;
@@ -227,6 +320,9 @@ void Device::run_items(u64 n, const std::function<void(u64)>& body) {
   }
   if (pool_ == nullptr || pool_->size() != threads) {
     pool_ = std::make_unique<ThreadPool>(threads);
+  }
+  if (pool_->timing_enabled() != (telem_ != nullptr)) {
+    pool_->set_timing_enabled(telem_ != nullptr);
   }
   sync_ = std::make_unique<LaunchSync>();
   sync_->done.assign(n, 0);

@@ -32,6 +32,8 @@
 namespace ms::sim {
 
 class ThreadPool;
+class Telemetry;
+struct TelemetryConfig;
 
 /// Process-wide default worker count for new Devices: an explicit value
 /// set here (e.g. from a --host-threads flag) wins over the
@@ -180,6 +182,25 @@ class Device {
   /// (buffers keep their contents; site labels stay registered).
   void reset_stats();
 
+  // --- telemetry (sim/telemetry.hpp) ---
+  /// Attach a metrics registry.  Registers a provider that polls the
+  /// allocator, the L2 counters and the threadpool at snapshot time, and
+  /// makes end_kernel() tick the sampler.  Telemetry only *reads* modeled
+  /// state -- modeled costs are bit-identical with it on or off (the
+  /// telemetry_overhead CTest gate).  Idempotent; the config of the first
+  /// call wins.
+  Telemetry& enable_telemetry(const TelemetryConfig& cfg);
+  Telemetry& enable_telemetry();
+  /// The attached registry, or nullptr when telemetry is off.
+  Telemetry* telemetry() { return telem_.get(); }
+  const Telemetry* telemetry() const { return telem_.get(); }
+
+  /// Device-lifetime modeled totals.  Unlike total_ms()/records(), these
+  /// survive reset_stats()/clear_records() -- they are the monotonic clock
+  /// telemetry snapshots are plotted against.
+  f64 lifetime_ms() const { return lifetime_ms_; }
+  u64 lifetime_launches() const { return lifetime_launches_; }
+
  private:
   /// Attribute `current_ - site_snapshot_` to the current site.
   void flush_site_delta();
@@ -230,6 +251,13 @@ class Device {
   u32 host_threads_ = 1;
   std::unique_ptr<ThreadPool> pool_;     // lazily created, reused
   std::unique_ptr<LaunchSync> sync_;     // non-null only during run_items
+
+  std::unique_ptr<Telemetry> telem_;     // null when telemetry is off
+  /// Lifetime accumulators (updated at end_kernel; survive reset_stats).
+  f64 lifetime_ms_ = 0.0;
+  u64 lifetime_launches_ = 0;
+  u64 lifetime_l2_read_segments_ = 0;
+  u64 lifetime_dram_read_tx_ = 0;
 };
 
 }  // namespace ms::sim

@@ -47,7 +47,10 @@ class Device;
 /// mis-parsing.  Bump when a field changes meaning or moves.
 /// v4: reports gain the device sub-allocator stats block ("allocator")
 /// and result rows record the concrete method ("method_selected").
-inline constexpr u32 kReportSchemaVersion = 4;
+/// v5: bench host timing excludes the warm-up trial and reports both mean
+/// and min ("host_ms_min"); telemetry timelines (--telemetry JSONL,
+/// bench/history records) carry the same version stamp.
+inline constexpr u32 kReportSchemaVersion = 5;
 
 /// Which modeled pipe a kernel (or run) saturates.  Classified with a 5%
 /// margin: within it the two pipes are "balanced".

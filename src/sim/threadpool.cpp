@@ -1,12 +1,15 @@
 #include "sim/threadpool.hpp"
 
+#include <chrono>
+
 namespace ms::sim {
 
 ThreadPool::ThreadPool(u32 threads) {
   check(threads >= 1, "ThreadPool: need at least one worker");
+  cells_ = std::make_unique<WorkerCell[]>(threads);
   workers_.reserve(threads);
   for (u32 t = 0; t < threads; ++t) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, t] { worker_loop(t); });
   }
 }
 
@@ -40,7 +43,24 @@ void ThreadPool::run(u64 begin, u64 end, const std::function<void(u64)>& body) {
   body_ = nullptr;
 }
 
-void ThreadPool::worker_loop() {
+std::vector<ThreadPool::WorkerStats> ThreadPool::worker_stats() const {
+  std::vector<WorkerStats> out(workers_.size());
+  for (u32 i = 0; i < workers_.size(); ++i) {
+    out[i].busy_ms =
+        static_cast<f64>(cells_[i].busy_ns.load(std::memory_order_relaxed)) /
+        1e6;
+    out[i].items = cells_[i].items.load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+u64 ThreadPool::queue_depth() const {
+  std::lock_guard<std::mutex> lock(const_cast<std::mutex&>(mu_));
+  return (end_ > next_ ? end_ - next_ : 0) + in_flight_;
+}
+
+void ThreadPool::worker_loop(u32 worker_index) {
+  WorkerCell& cell = cells_[worker_index];
   u64 seen_seq = 0;
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
@@ -54,8 +74,21 @@ void ThreadPool::worker_loop() {
       const u64 item = next_++;
       in_flight_ += 1;
       const std::function<void(u64)>* body = body_;
+      const bool timed = timing_enabled_.load(std::memory_order_relaxed);
       lock.unlock();
-      (*body)(item);
+      if (timed) {
+        const auto t0 = std::chrono::steady_clock::now();
+        (*body)(item);
+        const auto t1 = std::chrono::steady_clock::now();
+        cell.busy_ns.fetch_add(
+            static_cast<u64>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                    .count()),
+            std::memory_order_relaxed);
+        cell.items.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        (*body)(item);
+      }
       lock.lock();
       in_flight_ -= 1;
     }

@@ -17,8 +17,10 @@
 // (run_items captures them per item); a throw escaping `body` terminates.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -39,6 +41,27 @@ class ThreadPool {
 
   u32 size() const { return static_cast<u32>(workers_.size()); }
 
+  // --- telemetry (sim/telemetry.hpp; read-only over scheduling state) ---
+
+  /// Cumulative per-worker execution stats.  Busy time is only accumulated
+  /// while timing is enabled (two steady_clock reads per item otherwise
+  /// avoided -- the pool must stay invisible to untelemetered runs).
+  struct WorkerStats {
+    f64 busy_ms = 0.0;    ///< wall-clock spent inside item bodies
+    u64 items = 0;        ///< items this worker executed
+  };
+  void set_timing_enabled(bool on) {
+    timing_enabled_.store(on, std::memory_order_relaxed);
+  }
+  bool timing_enabled() const {
+    return timing_enabled_.load(std::memory_order_relaxed);
+  }
+  std::vector<WorkerStats> worker_stats() const;
+
+  /// Items of the current job not yet completed (unclaimed + in flight);
+  /// 0 between jobs.  The telemetry sampler's queue-depth gauge.
+  u64 queue_depth() const;
+
   /// Run body(item) for every item of [begin, end) across the workers and
   /// block until all items completed.  Items are claimed in ascending
   /// order.  One job at a time (the caller is the Device's launch path,
@@ -50,7 +73,14 @@ class ThreadPool {
   static u32 hardware_threads();
 
  private:
-  void worker_loop();
+  void worker_loop(u32 worker_index);
+
+  /// Per-worker accumulators, cache-line separated so telemetry updates
+  /// never bounce lines between workers.
+  struct alignas(64) WorkerCell {
+    std::atomic<u64> busy_ns{0};
+    std::atomic<u64> items{0};
+  };
 
   std::mutex mu_;
   std::condition_variable work_cv_;   // workers wait here for a job
@@ -61,6 +91,8 @@ class ThreadPool {
   u64 in_flight_ = 0;  // items claimed but not yet finished
   u64 job_seq_ = 0;    // bumped per run() so idle workers wake exactly once
   bool shutdown_ = false;
+  std::atomic<bool> timing_enabled_{false};
+  std::unique_ptr<WorkerCell[]> cells_;  // one per worker, fixed at spawn
   std::vector<std::thread> workers_;
 };
 

@@ -7,6 +7,7 @@
 #include "sim/device.hpp"
 #include "sim/json.hpp"
 #include "sim/metrics.hpp"
+#include "sim/telemetry.hpp"
 
 namespace ms::sim {
 
@@ -179,6 +180,39 @@ void write_chrome_trace(Device& dev, std::ostream& os) {
     w.key("args").begin_object().field("pct", 0.0).end_object().end_object();
     counter_event(w, "active lanes %", end);
     w.key("args").begin_object().field("pct", 0.0).end_object().end_object();
+  }
+
+  // Telemetry counter tracks (sim/telemetry.hpp): each ring snapshot
+  // contributes one sample, plotted at its modeled timestamp so the tracks
+  // line up with the kernel slices above.  Scalars are grouped by their
+  // dotted prefix ("allocator.bytes_live" -> track "telemetry: allocator",
+  // series "bytes_live"); per-worker series are skipped (host-time noise,
+  // not modeled state).
+  if (const Telemetry* telem = dev.telemetry(); telem != nullptr) {
+    for (const TelemetrySnapshot& snap : telem->timeline()) {
+      const f64 ts = snap.modeled_ms * 1e3;
+      std::string group;
+      bool open = false;
+      for (const ScalarSample& s : snap.scalars) {
+        const auto dot = s.name.find('.');
+        if (dot == std::string::npos) continue;
+        const std::string g = s.name.substr(0, dot);
+        const std::string series = s.name.substr(dot + 1);
+        if (g == "pool" && series.size() > 1 && series[0] == 'w' &&
+            series[1] >= '0' && series[1] <= '9') {
+          continue;
+        }
+        if (g != group) {
+          if (open) w.end_object().end_object();
+          counter_event(w, ("telemetry: " + g).c_str(), ts);
+          w.key("args").begin_object();
+          group = g;
+          open = true;
+        }
+        w.field(series, s.value);
+      }
+      if (open) w.end_object().end_object();
+    }
   }
 
   w.end_array();  // traceEvents

@@ -28,10 +28,13 @@
 #include <string>
 #include <vector>
 
+#include <iostream>
+
 #include "multisplit/multisplit.hpp"
 #include "multisplit/sort_baselines.hpp"
 #include "sim/cost_model.hpp"
 #include "sim/metrics.hpp"
+#include "sim/telemetry.hpp"
 #include "workload/distributions.hpp"
 
 using namespace ms;
@@ -80,12 +83,16 @@ void usage(const char* argv0) {
       "  --json <file>         write a machine-readable report\n"
       "  --trace <file>        write a Chrome/Perfetto trace (single method)\n"
       "  --list                list methods and exit\n"
+      "  --version             print the report schema version and exit\n"
       "subcommands:\n"
       "  metrics [options]     run and print the derived-metrics report\n"
       "                        (speed of light, coalescing, divergence,\n"
       "                        guided analysis)\n"
       "  diff <baseline.json> <current.json> [--tolerance <pct>]\n"
-      "       [--json <file>]  compare two reports; exit 1 on drift\n");
+      "       [--json <file>]  compare two reports; exit 1 on drift\n"
+      "  top <timeline.jsonl>  render the latest telemetry snapshot of a\n"
+      "                        --telemetry timeline as Prometheus text\n"
+      "                        (+ latency percentile table)\n");
 }
 
 struct Args {
@@ -347,17 +354,113 @@ int cmd_diff(int argc, char** argv) {
   return 0;
 }
 
+/// `ms_cli top <timeline.jsonl>`: one-shot Prometheus-text render of the
+/// latest snapshot of a --telemetry timeline.  Exit 0 = rendered, 2 =
+/// unusable input (missing file, malformed line, schema mismatch, empty
+/// timeline).
+int cmd_top(int argc, char** argv) {
+  if (argc != 2 || argv[1][0] == '-') {
+    std::printf("usage: ms_cli top <timeline.jsonl>\n");
+    return 2;
+  }
+  std::ifstream is(argv[1]);
+  if (!is) {
+    std::printf("top: cannot read '%s'\n", argv[1]);
+    return 2;
+  }
+  std::string line, last;
+  bool saw_header = false;
+  u64 line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    if (!saw_header) {
+      // Line 1 is the timeline header: check provenance and schema before
+      // trusting any snapshot line (the diff-tool convention).
+      try {
+        const sim::JsonValue h = sim::parse_json(line);
+        const sim::JsonValue* tag = h.find("telemetry");
+        if (tag == nullptr || tag->str != "timeline") {
+          std::printf("top: '%s' is not a telemetry timeline\n", argv[1]);
+          return 2;
+        }
+        const u32 ver = static_cast<u32>(h.at("schema_version").number);
+        if (ver != sim::kReportSchemaVersion) {
+          std::printf("top: schema v%u, this tool expects v%u\n", ver,
+                      sim::kReportSchemaVersion);
+          return 2;
+        }
+      } catch (const std::runtime_error& e) {
+        std::printf("top: malformed header: %s\n", e.what());
+        return 2;
+      }
+      saw_header = true;
+      continue;
+    }
+    last = line;
+  }
+  if (!saw_header || last.empty()) {
+    std::printf("top: '%s' has no snapshots\n", argv[1]);
+    return 2;
+  }
+
+  sim::TelemetrySnapshot snap;
+  try {
+    const sim::JsonValue v = sim::parse_json(last);
+    snap.seq = static_cast<u64>(v.at("seq").number);
+    snap.host_ms = v.at("host_ms").number;
+    snap.modeled_ms = v.at("modeled_ms").number;
+    for (const auto& [name, val] : v.at("scalars").object) {
+      snap.scalars.push_back({name, val.number});
+    }
+    for (const auto& [name, h] : v.at("histograms").object) {
+      sim::HistogramSample out;
+      out.name = name;
+      out.count = static_cast<u64>(h.at("count").number);
+      out.sum_ms = h.at("sum_ms").number;
+      out.min_ms = h.at("min_ms").number;
+      out.max_ms = h.at("max_ms").number;
+      out.p50_ms = h.at("p50_ms").number;
+      out.p95_ms = h.at("p95_ms").number;
+      out.p99_ms = h.at("p99_ms").number;
+      out.p999_ms = h.at("p999_ms").number;
+      snap.histograms.push_back(std::move(out));
+    }
+  } catch (const std::runtime_error& e) {
+    std::printf("top: malformed snapshot (line %llu): %s\n",
+                static_cast<unsigned long long>(line_no), e.what());
+    return 2;
+  }
+  sim::write_prometheus(std::cout, snap);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc > 1 && (!std::strcmp(argv[1], "--version") ||
+                   !std::strcmp(argv[1], "-V"))) {
+    std::printf("ms_cli report schema v%u\n", sim::kReportSchemaVersion);
+    return 0;
+  }
   if (argc > 1 && !std::strcmp(argv[1], "diff")) {
     return cmd_diff(argc - 1, argv + 1);
+  }
+  if (argc > 1 && !std::strcmp(argv[1], "top")) {
+    return cmd_top(argc - 1, argv + 1);
   }
   Args a;
   int argi = 1;
   if (argc > 1 && !std::strcmp(argv[1], "metrics")) {
     a.metrics = true;
     argi = 2;
+  } else if (argc > 1 && argv[1][0] != '-') {
+    // A bare word that is not a known subcommand must not fall through to
+    // flag parsing ("ms_cli metrcs" silently running the default method).
+    std::printf("unknown subcommand '%s' (expected diff, metrics or top; "
+                "try --help)\n",
+                argv[1]);
+    return 2;
   }
   for (int i = argi; i < argc; ++i) {
     const auto next = [&] {

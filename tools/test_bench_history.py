@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Self-check for the bench-history pipeline (the bench_history_selfcheck
+CTest entry).
+
+Records two runs of a bench into a *temporary* history directory via
+`check_bench.py record`, then verifies the JSONL schema round-trips
+through `bench_history.py --summarize`: two lines on disk, both parse,
+the summary reports both runs and the latency percentile digest when the
+bench emitted one.  Never touches the committed bench/history/.
+
+Usage: test_bench_history.py <check_bench.py> <bench-binary>
+       <bench_history.py>
+"""
+
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+
+def run(cmd, **kw):
+    proc = subprocess.run([sys.executable] + [str(c) for c in cmd],
+                          capture_output=True, text=True, **kw)
+    if proc.returncode != 0:
+        raise SystemExit(
+            f"FAIL: {' '.join(map(str, cmd))} exited {proc.returncode}\n"
+            f"stdout:\n{proc.stdout}\nstderr:\n{proc.stderr}")
+    return proc.stdout
+
+
+def main():
+    if len(sys.argv) != 4:
+        print(__doc__, file=sys.stderr)
+        return 2
+    check_bench, bench, bench_history = (Path(a) for a in sys.argv[1:4])
+
+    with tempfile.TemporaryDirectory() as tmp:
+        hist_dir = Path(tmp) / "history"
+        for _ in range(2):
+            run([check_bench, "record", bench, "--history-dir", hist_dir])
+
+        files = sorted(hist_dir.glob("*.jsonl"))
+        if len(files) != 1:
+            raise SystemExit(
+                f"FAIL: expected one history file, found {files}")
+        lines = [l for l in files[0].read_text().splitlines() if l.strip()]
+        if len(lines) != 2:
+            raise SystemExit(
+                f"FAIL: expected 2 history lines, found {len(lines)}")
+        entries = [json.loads(l) for l in lines]
+        for e in entries:
+            for field in ("history", "schema_version", "git_sha", "bench",
+                          "results", "host_threads"):
+                if field not in e:
+                    raise SystemExit(f"FAIL: history line missing {field!r}")
+            if not e["results"]:
+                raise SystemExit("FAIL: history line has no results")
+
+        summary = run([bench_history, "--summarize", hist_dir])
+        if "2 run(s)" not in summary:
+            raise SystemExit(
+                f"FAIL: summary does not report both runs:\n{summary}")
+        if entries[-1].get("latency") and "latency" not in summary:
+            raise SystemExit(
+                f"FAIL: summary dropped the latency digest:\n{summary}")
+
+    print("OK: bench history round-trips (2 records -> summarize)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,50 @@
+# CTest script for tool_ms_cli_top: produce a telemetry timeline with
+# bench/plan_reuse --telemetry, then render its final snapshot with
+# `ms_cli top` and check the Prometheus text output carries the expected
+# series.  Run via:
+#   cmake -DPLAN_REUSE=... -DMS_CLI=... -DWORK_DIR=... -P test_ms_cli_top.cmake
+
+foreach(var PLAN_REUSE MS_CLI WORK_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "missing -D${var}=...")
+  endif()
+endforeach()
+
+set(timeline "${WORK_DIR}/ms_cli_top_timeline.jsonl")
+file(REMOVE "${timeline}")
+
+execute_process(
+  COMMAND "${PLAN_REUSE}" --json "${WORK_DIR}/ms_cli_top_report.json"
+          --telemetry "${timeline}"
+  RESULT_VARIABLE bench_rc
+  OUTPUT_QUIET)
+if(NOT bench_rc EQUAL 0)
+  message(FATAL_ERROR "plan_reuse --telemetry exited ${bench_rc}")
+endif()
+if(NOT EXISTS "${timeline}")
+  message(FATAL_ERROR "plan_reuse did not write ${timeline}")
+endif()
+
+execute_process(
+  COMMAND "${MS_CLI}" top "${timeline}"
+  RESULT_VARIABLE top_rc
+  OUTPUT_VARIABLE top_out)
+if(NOT top_rc EQUAL 0)
+  message(FATAL_ERROR "ms_cli top exited ${top_rc}:\n${top_out}")
+endif()
+
+# The Prometheus rendering must expose the allocator/L2 gauges and the
+# request latency summary with percentile quantiles.
+foreach(needle
+    "ms_allocator_bytes_reserved"
+    "ms_l2_read_hit_pct"
+    "ms_request_modeled_ms"
+    "quantile=\"0.99\"")
+  string(FIND "${top_out}" "${needle}" pos)
+  if(pos EQUAL -1)
+    message(FATAL_ERROR
+      "ms_cli top output missing '${needle}':\n${top_out}")
+  endif()
+endforeach()
+
+message(STATUS "OK: ms_cli top rendered the timeline's final snapshot")
