@@ -1,0 +1,84 @@
+// Seeded chaos campaigns: many resilient multisplit requests executed
+// against an armed fault-injection engine (sim/chaos.hpp), with every
+// outcome audited against a host-side ground truth.
+//
+// A campaign is the system-level proof the chaos PR gates on: for a given
+// (seed, policy, request count) it reports how many faults were injected,
+// how many requests recovered, how many surfaced as structured errors --
+// and, crucially, that ZERO requests returned a silently wrong result.
+// Campaigns are fully deterministic: the same config produces the same
+// report at any MS_HOST_THREADS setting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "multisplit/common.hpp"
+#include "sim/chaos.hpp"
+
+namespace ms::split {
+
+struct ChaosCampaignConfig {
+  /// Seed for the campaign's own key streams (independent of the chaos
+  /// engine's policy seed so reshuffling inputs never re-times faults).
+  u64 seed = 0x5EEDFACEull;
+  /// Total resilient requests to execute (round-robin over `methods`).
+  u32 requests = 500;
+  /// Keys per request (kept small: campaigns run hundreds of requests).
+  u32 log2_n = 10;
+  /// Buckets per request.
+  u32 m = 8;
+  /// Methods exercised, in round-robin order.
+  std::vector<Method> methods = {Method::kWarpLevel, Method::kBlockLevel,
+                                 Method::kReducedBitSort,
+                                 Method::kRecursiveScanSplit};
+  /// Fault mix.  Defaults make a 500-request campaign inject faults at
+  /// every site while leaving most requests clean.
+  sim::ChaosPolicy chaos = {
+      .seed = 0xC405C0DEull,
+      .p_alloc_fail = 0.01,
+      .p_launch_abort = 0.01,
+      .p_bit_flip = 0.03,
+      .p_l2_corrupt = 0.0002,
+  };
+  /// Retry behavior.  retry_data_faults is on: injected corruption can
+  /// surface as sanitizer-style data faults, which ARE transient here.
+  RetryPolicy retry = {.retry_data_faults = true};
+  /// Device profile name ("" = default profile).
+  std::string profile;
+};
+
+/// Outcome tallies; requests = ok_first_try + recovered + structured_errors
+/// + silent_wrong.
+struct ChaosCampaignReport {
+  ChaosCampaignConfig config;
+  u32 ok_first_try = 0;       ///< clean on the first attempt
+  u32 recovered = 0;          ///< faulted, then returned a correct result
+  u32 structured_errors = 0;  ///< surfaced as SimError (never silent)
+  u32 silent_wrong = 0;       ///< wrong output accepted -- MUST be zero
+  u64 retries = 0;            ///< attempts beyond the first, summed
+  u64 fallbacks = 0;          ///< method downgrades, summed
+  /// Device-side stats snapshot at campaign end (injected_* totals and the
+  /// executor's own accounting).
+  sim::ResilienceStats stats;
+  /// Execution-order audit trail of every injected fault.
+  std::vector<sim::InjectionRecord> injections;
+
+  u32 total() const {
+    return ok_first_try + recovered + structured_errors + silent_wrong;
+  }
+  /// The CI gate: every request either produced a verified-correct output
+  /// or a structured error.
+  bool clean() const {
+    return silent_wrong == 0 && total() == config.requests;
+  }
+};
+
+/// Run a campaign on a fresh device.  Deterministic in `cfg` alone.
+ChaosCampaignReport run_chaos_campaign(const ChaosCampaignConfig& cfg);
+
+/// Human-readable report (the `ms_cli chaos` output): config echo, the
+/// injected-vs-detected-vs-recovered-vs-lost table, and the verdict line.
+std::string format_campaign(const ChaosCampaignReport& rep);
+
+}  // namespace ms::split

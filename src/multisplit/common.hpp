@@ -4,6 +4,7 @@
 #pragma once
 
 #include <functional>
+#include <limits>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -102,6 +103,58 @@ struct StageTimings {
   f64 total() const { return prescan_ms + scan_ms + postscan_ms; }
 };
 
+/// How a resilient run may respond to faults (injected or organic).
+/// Defaults give a request four total attempts with two tries per method
+/// before degrading down the fallback ladder, deterministic exponential
+/// backoff in *virtual* milliseconds (charged to the timing summary, not
+/// wall clock), and end-to-end output validation so corrupted-but-
+/// non-throwing runs are caught and retried rather than returned.
+struct RetryPolicy {
+  /// Total attempts across all methods (first try included).  1 disables
+  /// retry entirely -- the first fault propagates.
+  u32 max_attempts = 4;
+  /// Attempts on the current method before falling back to a simpler one.
+  u32 attempts_per_method = 2;
+  /// Virtual backoff before retry k is base * multiplier^(k-1) ms.
+  f64 backoff_base_ms = 0.25;
+  f64 backoff_multiplier = 2.0;
+  /// Give up (FaultKind::kRetryExhausted) once the summed attempt +
+  /// backoff time exceeds this budget, even with attempts remaining.
+  f64 timeout_budget_ms = std::numeric_limits<f64>::infinity();
+  /// Re-check the output against the bucket function after every attempt
+  /// (stability included for stable methods).  Catches silent corruption.
+  bool validate_output = true;
+  /// Permit degrading to a different (simpler) method; off = retry the
+  /// requested method only.
+  bool allow_fallback = true;
+  /// Treat data-integrity faults (OOB, uninitialized reads, races) as
+  /// retryable.  Off by default: in a healthy program those are bugs, not
+  /// transients.  Chaos campaigns turn this on, since injected bit flips
+  /// surface as exactly these kinds.
+  bool retry_data_faults = false;
+};
+
+/// What resilience machinery did for one request (attached to the result).
+struct ResilienceInfo {
+  u32 attempts = 1;             // total run_method invocations
+  u32 retries = 0;              // attempts beyond the first
+  u32 fallbacks = 0;            // method downgrades taken
+  u32 validation_failures = 0;  // outputs rejected by the validator
+  f64 backoff_ms = 0.0;         // total virtual backoff charged
+  bool degraded = false;        // final method != requested/resolved method
+};
+
+/// True if a fault of this kind may be cured by retrying (per `rp`).
+/// Allocation / launch / validation failures always are; data-integrity
+/// faults only when rp.retry_data_faults; config errors never.
+bool fault_is_retryable(sim::FaultKind kind, const RetryPolicy& rp);
+
+/// Next rung down the degradation ladder from `cur` that can serve an
+/// (m, pairs) request, or nullopt when out of options.  Moves toward the
+/// simplest, most robust kernels: fused/reduced-bit sort -> block-level ->
+/// warp-level -> direct -> scan-split (m <= 2 only).
+std::optional<Method> fallback_method(Method cur, u32 m, bool pairs);
+
 struct MultisplitResult {
   /// bucket_offsets[j] = first output index of bucket j; size m+1, with
   /// bucket_offsets[m] == n.  (The paper's optional m-entry index array.)
@@ -112,6 +165,9 @@ struct MultisplitResult {
   /// resolved to, or simply the requested method.  kAuto only on a
   /// default-constructed (never-run) result.
   Method method_selected = Method::kAuto;
+  /// Retry/fallback accounting for the resilient entry points; default
+  /// (single clean attempt) for the plain ones.
+  ResilienceInfo resilience;
   f64 total_ms() const { return stages.total(); }
 };
 

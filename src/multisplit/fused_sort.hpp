@@ -73,11 +73,17 @@ MultisplitResult fused_bucket_sort_ms(Device& dev,
   result.summary = sort_region.end();
   result.stages.scan_ms = result.summary.total_ms;  // one stage: sort
 
-  // Bucket offsets from the sorted-by-bucket output (host-side).
+  // Bucket offsets from the sorted-by-bucket output (host-side).  Output
+  // keys are device data and untrusted: with an identity-style bucket
+  // function a fault-injected bit flip can map one outside [0, m), which
+  // must yield wrong offsets (caught by resilient validation), never an
+  // out-of-range host write.
   result.bucket_offsets.assign(m + 1, static_cast<u32>(n));
   result.bucket_offsets[0] = 0;
-  for (u64 i = n; i-- > 0;)
-    result.bucket_offsets[bucket_of(keys_out[i])] = static_cast<u32>(i);
+  for (u64 i = n; i-- > 0;) {
+    const u32 b = bucket_of(keys_out[i]);
+    if (b < m) result.bucket_offsets[b] = static_cast<u32>(i);
+  }
   for (u32 j = m; j-- > 1;) {
     if (result.bucket_offsets[j] > result.bucket_offsets[j + 1])
       result.bucket_offsets[j] = result.bucket_offsets[j + 1];

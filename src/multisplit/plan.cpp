@@ -56,6 +56,81 @@ std::optional<Method> parse_method(std::string_view name) {
   return std::nullopt;
 }
 
+bool fault_is_retryable(sim::FaultKind kind, const RetryPolicy& rp) {
+  switch (kind) {
+    // Transient by construction: a failed allocation may succeed after the
+    // pool drains, an aborted launch after resubmission, and a rejected
+    // output after a rerun overwrites the corruption.
+    case sim::FaultKind::kAllocFailure:
+    case sim::FaultKind::kLaunchFailure:
+    case sim::FaultKind::kValidationFailure:
+      return true;
+    // Data-integrity findings.  In a healthy program these are bugs and
+    // retrying hides them; under fault injection a flipped bit produces
+    // exactly these kinds, so chaos campaigns opt in.
+    case sim::FaultKind::kGlobalOOB:
+    case sim::FaultKind::kSharedOOB:
+    case sim::FaultKind::kUninitGlobalRead:
+    case sim::FaultKind::kUninitSharedRead:
+    case sim::FaultKind::kRaceHazard:
+      return rp.retry_data_faults;
+    // Deterministic host/config errors: a retry replays the same mistake.
+    default:
+      return false;
+  }
+}
+
+std::optional<Method> fallback_method(Method cur, u32 m, bool pairs) {
+  // Degradation ladder, most- to least-sophisticated.  Each faulting
+  // method falls to the next rung that can serve the (m, pairs) request;
+  // the bottom rungs trade throughput for simpler kernels with smaller
+  // scratch footprints and fewer shared-memory tricks.
+  auto usable = [&](Method cand) {
+    const MethodTraits& tr = method_traits(cand);
+    if (m > tr.max_m) return false;
+    if (pairs && !tr.supports_pairs) return false;
+    return true;
+  };
+  auto next_in_chain = [&](Method from) -> std::optional<Method> {
+    static constexpr Method kLadder[] = {
+        Method::kFusedBucketSort, Method::kReducedBitSort,
+        Method::kBlockLevel,      Method::kWarpLevel,
+        Method::kDirect,
+    };
+    bool seen = false;
+    for (Method cand : kLadder) {
+      if (cand == from) {
+        seen = true;
+        continue;
+      }
+      if (seen && usable(cand)) return cand;
+    }
+    if (!seen) return std::nullopt;
+    // Below the warp methods: the scan-based splits, whose kernels share
+    // almost nothing with the histogram/sort family that just failed.
+    if (m <= 2 && from != Method::kScanSplit && usable(Method::kScanSplit)) {
+      return Method::kScanSplit;
+    }
+    if (m > 2 && usable(Method::kRecursiveScanSplit)) {
+      return Method::kRecursiveScanSplit;
+    }
+    return std::nullopt;
+  };
+  switch (cur) {
+    case Method::kRandomizedInsertion:
+      // Key-only, non-stable specialist: degrade to the stable generalist.
+      return usable(Method::kWarpLevel) ? std::optional<Method>(Method::kWarpLevel)
+                                        : std::nullopt;
+    case Method::kScanSplit:
+    case Method::kRecursiveScanSplit:
+    case Method::kAuto:
+      // Already at the bottom of the ladder (or unresolved): no rung left.
+      return std::nullopt;
+    default:
+      return next_in_chain(cur);
+  }
+}
+
 Method resolve_auto(const sim::DeviceProfile& profile, u64 /*n*/, u32 m) {
   // Paper Section 6: warp-level MS leads for small bucket counts, the
   // block-level method through the shared-memory histogram limit, and the
@@ -230,6 +305,25 @@ void MultisplitPlan::check_pairs(const sim::DeviceBuffer<u32>& keys_in,
         "randomized insertion is key-only (Section 3.5)");
 }
 
+namespace detail {
+
+void throw_retry_exhausted(Method requested, u32 attempts, f64 spent_ms,
+                           const sim::FaultContext& last) {
+  sim::FaultContext ctx;
+  ctx.kind = sim::FaultKind::kRetryExhausted;
+  ctx.kernel = "<resilience>";
+  ctx.object = to_string(requested);
+  ctx.index = attempts;
+  std::ostringstream os;
+  os << "retry budget exhausted after " << attempts << " attempts ("
+     << spent_ms << " modeled ms); last fault: " << to_string(last.kind);
+  if (!last.detail.empty()) os << " -- " << last.detail;
+  ctx.detail = os.str();
+  throw sim::SimError(std::move(ctx));
+}
+
+}  // namespace detail
+
 MultisplitResult MultisplitPlan::run(const sim::DeviceBuffer<u32>& in,
                                      sim::DeviceBuffer<u32>& out,
                                      const BucketFunction& bucket_of) const {
@@ -242,6 +336,22 @@ MultisplitResult MultisplitPlan::run_pairs(
     sim::DeviceBuffer<u32>& vals_out, const BucketFunction& bucket_of) const {
   return run_pairs(keys_in, vals_in, keys_out, vals_out,
                    detail::ErasedBucket{&bucket_of});
+}
+
+MultisplitResult MultisplitPlan::run(const sim::DeviceBuffer<u32>& in,
+                                     sim::DeviceBuffer<u32>& out,
+                                     const BucketFunction& bucket_of,
+                                     const RetryPolicy& rp) const {
+  return run(in, out, detail::ErasedBucket{&bucket_of}, rp);
+}
+
+MultisplitResult MultisplitPlan::run_pairs(
+    const sim::DeviceBuffer<u32>& keys_in,
+    const sim::DeviceBuffer<u32>& vals_in, sim::DeviceBuffer<u32>& keys_out,
+    sim::DeviceBuffer<u32>& vals_out, const BucketFunction& bucket_of,
+    const RetryPolicy& rp) const {
+  return run_pairs(keys_in, vals_in, keys_out, vals_out,
+                   detail::ErasedBucket{&bucket_of}, rp);
 }
 
 }  // namespace ms::split

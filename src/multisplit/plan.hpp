@@ -19,8 +19,14 @@
 // identical addresses (see DESIGN.md §10).
 #pragma once
 
+#include <algorithm>
 #include <array>
+#include <optional>
+#include <span>
+#include <string>
 #include <type_traits>
+#include <utility>
+#include <vector>
 
 #include "multisplit/block_ms.hpp"
 #include "multisplit/bucket.hpp"
@@ -127,21 +133,284 @@ MultisplitResult run_method(Method method, sim::Device& dev,
   // Request bracket for serving telemetry: no-op unless the device has a
   // registry attached; records host + modeled latency per request.
   sim::TelemetryRequestScope telem(dev);
+  const f64 t0 = dev.lifetime_ms();
   // Park scratch frees until this run completes: within-call alloc/free
   // churn (the recursive scan split's per-round buffers) must see fresh
   // bump addresses for bit-identical single-shot costs; the NEXT run then
   // reuses everything this run freed.
   MultisplitResult r;
-  {
+  try {
     const sim::CachingAllocator::DeferredScope scope(dev.allocator());
     r = method_table<BucketFn, V>()[idx].run(dev, in, out, vals_in, vals_out,
                                              m, bucket_of, cfg);
+  } catch (...) {
+    // A faulted run must leave the device servable: the DeferredScope just
+    // flushed the frees that unwinding scratch buffers parked (so the next
+    // request reuses this run's address ranges instead of leaking them),
+    // and the telemetry bracket closes with the modeled time actually
+    // spent, so faulted requests are visible in the request histograms
+    // rather than silently dropped mid-flight.
+    telem.finish(dev.lifetime_ms() - t0);
+    throw;
   }
   r.method_selected = method;
   // finish() after the scope closed: a snapshot taken at this tick sees
   // the allocator with this run's scratch already back on the free lists.
   telem.finish(r.total_ms());
   return r;
+}
+
+/// Build the structured kRetryExhausted error a resilient run throws when
+/// its attempt or time budget runs out (defined in plan.cpp).
+[[noreturn]] void throw_retry_exhausted(Method requested, u32 attempts,
+                                        f64 spent_ms,
+                                        const sim::FaultContext& last);
+
+/// End-to-end output check for the resilient executor: the reported
+/// bucket_offsets against boundaries recomputed from the input, bucket
+/// order of every output key, and (for stable methods) the exact stable
+/// permutation, keys and values.  Pure host-side verification -- charges
+/// nothing, touches no device state, and reads buffers through const
+/// views so initcheck shadows are unperturbed.  Returns false and fills
+/// `why` on the first mismatch.
+template <typename BucketFn, typename V>
+bool validate_split_output(const sim::DeviceBuffer<u32>& in,
+                           const sim::DeviceBuffer<u32>& out,
+                           const sim::DeviceBuffer<V>* vals_in,
+                           const sim::DeviceBuffer<V>* vals_out, u32 m,
+                           BucketFn& bucket_of, bool stable,
+                           const std::vector<u32>& offsets,
+                           std::string* why) {
+  const std::span<const u32> ki = std::as_const(in).host();
+  const std::span<const u32> ko = std::as_const(out).host();
+  const u64 n = ki.size();
+  // Reference segment boundaries recomputed from the input.
+  std::vector<u64> counts(m, 0);
+  for (u64 i = 0; i < n; ++i) {
+    const u32 b = bucket_of(ki[i]);
+    if (b >= m) {
+      if (why != nullptr) *why = "input key maps outside [0, m)";
+      return false;
+    }
+    counts[b] += 1;
+  }
+  std::vector<u64> start(m + 1, 0);
+  for (u32 j = 0; j < m; ++j) start[j + 1] = start[j] + counts[j];
+  // The REPORTED offsets must equal the recomputed ones exactly: a
+  // corrupted histogram/label can produce well-formed (monotone) offsets
+  // over a perfectly ordered output, which only this comparison catches.
+  for (u32 j = 0; j <= m; ++j) {
+    if (offsets[j] != start[j]) {
+      if (why != nullptr) {
+        *why = "bucket_offsets[" + std::to_string(j) +
+               "] disagrees with the input's bucket counts";
+      }
+      return false;
+    }
+  }
+  // Bucket order: output position i in segment j must hold a bucket-j key.
+  for (u32 j = 0; j < m; ++j) {
+    for (u64 i = start[j]; i < start[j + 1]; ++i) {
+      if (bucket_of(ko[i]) != j) {
+        if (why != nullptr) {
+          *why = "output key out of bucket order (segment " +
+                 std::to_string(j) + ", index " + std::to_string(i) + ")";
+        }
+        return false;
+      }
+    }
+  }
+  if (stable) {
+    // Stable methods must produce exactly the stable partition: walk the
+    // input once, expecting each key (and its value) at its bucket cursor.
+    std::vector<u64> cursor(start.begin(), start.end() - 1);
+    const V* vi = nullptr;
+    const V* vo = nullptr;
+    if (vals_in != nullptr && vals_out != nullptr) {
+      vi = std::as_const(*vals_in).host().data();
+      vo = std::as_const(*vals_out).host().data();
+    }
+    for (u64 i = 0; i < n; ++i) {
+      const u32 b = bucket_of(ki[i]);
+      const u64 pos = cursor[b]++;
+      if (ko[pos] != ki[i]) {
+        if (why != nullptr) {
+          *why = "stable permutation violated at output index " +
+                 std::to_string(pos);
+        }
+        return false;
+      }
+      if (vi != nullptr && vo[pos] != vi[i]) {
+        if (why != nullptr) {
+          *why = "value does not travel with its key at output index " +
+                 std::to_string(pos);
+        }
+        return false;
+      }
+    }
+  } else {
+    // Non-stable methods (randomized insertion, key-only): each segment
+    // must hold the same multiset of keys as the input contributes.
+    std::vector<std::vector<u32>> expect(m);
+    for (u32 j = 0; j < m; ++j) expect[j].reserve(counts[j]);
+    for (u64 i = 0; i < n; ++i) expect[bucket_of(ki[i])].push_back(ki[i]);
+    for (u32 j = 0; j < m; ++j) {
+      std::vector<u32> got(ko.begin() + static_cast<std::ptrdiff_t>(start[j]),
+                           ko.begin() +
+                               static_cast<std::ptrdiff_t>(start[j + 1]));
+      std::sort(got.begin(), got.end());
+      std::sort(expect[j].begin(), expect[j].end());
+      if (got != expect[j]) {
+        if (why != nullptr) {
+          *why = "bucket " + std::to_string(j) +
+                 " holds the wrong key multiset";
+        }
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+/// Check the result's offsets against the reference partition sizes.
+inline bool validate_offsets(const MultisplitResult& r, u64 n, u32 m,
+                             std::string* why) {
+  const std::vector<u32>& off = r.bucket_offsets;
+  if (off.size() != static_cast<std::size_t>(m) + 1 || off.front() != 0 ||
+      off.back() != n) {
+    if (why != nullptr) *why = "bucket_offsets malformed (size/ends)";
+    return false;
+  }
+  for (u32 j = 0; j < m; ++j) {
+    if (off[j] > off[j + 1]) {
+      if (why != nullptr) *why = "bucket_offsets not monotone";
+      return false;
+    }
+  }
+  return true;
+}
+
+/// The resilient request executor (tentpole of the chaos PR): wraps
+/// run_method in a retry loop with deterministic virtual-time exponential
+/// backoff, a per-request time budget, graceful degradation down the
+/// fallback_method ladder, and optional end-to-end output validation that
+/// turns silent corruption into a retryable fault.  Faults are classified
+/// by fault_is_retryable; non-retryable ones rethrow immediately.  All
+/// accounting lands in the device's ResilienceStats and (when attached)
+/// the telemetry registry.  With no faults the executor adds zero device
+/// work, so a clean run is bit-identical to the plain entry points.
+template <typename BucketFn, typename V>
+MultisplitResult run_resilient(Method initial, sim::Device& dev,
+                               const sim::DeviceBuffer<u32>& in,
+                               sim::DeviceBuffer<u32>& out,
+                               const sim::DeviceBuffer<V>* vals_in,
+                               sim::DeviceBuffer<V>* vals_out, u32 m,
+                               BucketFn bucket_of, MultisplitConfig cfg,
+                               const RetryPolicy& rp) {
+  sim::ResilienceStats& rs = dev.resilience_stats();
+  rs.requests += 1;
+  // The cudaGetLastError idiom: entering a request consumes any stale
+  // sticky error left by earlier work, so the classification below only
+  // ever sees faults raised by THIS request's attempts.
+  (void)dev.take_last_error();
+
+  ResilienceInfo info;
+  Method cur = initial;
+  u32 tries_on_method = 0;
+  f64 spent_ms = 0.0;
+  f64 next_backoff = rp.backoff_base_ms;
+  const u32 max_attempts = rp.max_attempts == 0 ? 1 : rp.max_attempts;
+  sim::Telemetry* telem = dev.telemetry();
+
+  for (u32 attempt = 1;; ++attempt) {
+    info.attempts = attempt;
+    tries_on_method += 1;
+    cfg.method = cur;
+    std::optional<sim::FaultContext> fault;
+    const f64 t0 = dev.lifetime_ms();
+    MultisplitResult r;
+    try {
+      r = run_method<BucketFn, V>(cur, dev, in, out, vals_in, vals_out, m,
+                                  bucket_of, cfg);
+    } catch (const sim::SimError& e) {
+      fault = e.context();
+      // A thrown fault also parks itself as the sticky error; consume the
+      // duplicate now or the NEXT (clean) attempt would be misread as
+      // faulted.
+      (void)dev.take_last_error();
+    }
+    if (!fault.has_value()) {
+      // Sanitizer reporting mode (and the mt fault merge) park faults as
+      // the sticky error instead of throwing; surface those here too.
+      fault = dev.take_last_error();
+    }
+    if (!fault.has_value() && rp.validate_output) {
+      std::string why;
+      const bool stable = method_traits(cur).stable;
+      if (!validate_offsets(r, in.size(), m, &why) ||
+          !validate_split_output<BucketFn, V>(in, out, vals_in, vals_out, m,
+                                             bucket_of, stable,
+                                             r.bucket_offsets, &why)) {
+        info.validation_failures += 1;
+        rs.validation_failures += 1;
+        if (telem != nullptr) {
+          telem->counter("resilience.validation_failures").add(1);
+        }
+        sim::FaultContext ctx;
+        ctx.kind = sim::FaultKind::kValidationFailure;
+        ctx.kernel = "<resilience>";
+        ctx.object = "multisplit output";
+        ctx.detail = why;
+        fault = std::move(ctx);
+      }
+    }
+    spent_ms += dev.lifetime_ms() - t0;
+    if (!fault.has_value()) {
+      info.degraded = cur != initial;
+      r.resilience = info;
+      if (attempt > 1) {
+        rs.recovered += 1;
+        if (telem != nullptr) {
+          telem->counter("resilience.recovered").add(1);
+          telem->histogram("request.retry_ms").record_ms(spent_ms);
+        }
+      }
+      return r;
+    }
+    rs.faults_observed += 1;
+    if (telem != nullptr) telem->counter("resilience.faults").add(1);
+    if (!fault_is_retryable(fault->kind, rp)) {
+      rs.lost += 1;
+      if (telem != nullptr) telem->counter("resilience.lost").add(1);
+      throw sim::SimError(std::move(*fault));
+    }
+    if (attempt >= max_attempts || spent_ms >= rp.timeout_budget_ms) {
+      rs.lost += 1;
+      if (telem != nullptr) telem->counter("resilience.lost").add(1);
+      throw_retry_exhausted(initial, attempt, spent_ms, *fault);
+    }
+    // Deterministic exponential backoff in VIRTUAL time: charged against
+    // the timeout budget and reported on the result, never slept -- wall
+    // clock would break bit-reproducibility of campaign reports.
+    info.backoff_ms += next_backoff;
+    spent_ms += next_backoff;
+    next_backoff *= rp.backoff_multiplier;
+    info.retries += 1;
+    rs.retries += 1;
+    if (telem != nullptr) telem->counter("resilience.retries").add(1);
+    if (rp.allow_fallback && tries_on_method >= rp.attempts_per_method) {
+      if (std::optional<Method> next =
+              fallback_method(cur, m, vals_in != nullptr)) {
+        cur = *next;
+        tries_on_method = 0;
+        info.fallbacks += 1;
+        rs.fallbacks += 1;
+        if (telem != nullptr) telem->counter("resilience.fallbacks").add(1);
+      }
+      // Ladder exhausted: keep retrying the current method until the
+      // attempt budget runs out.
+    }
+  }
 }
 
 /// Adapter giving std::function-based callers an honest evaluation charge.
@@ -217,6 +486,35 @@ class MultisplitPlan {
                                            cfg_);
   }
 
+  /// Resilient key-only execution: retry/fallback/validation per `rp`
+  /// (see detail::run_resilient).  Throws only for non-retryable faults or
+  /// an exhausted budget (FaultKind::kRetryExhausted).
+  template <typename BucketFn>
+  MultisplitResult run(const sim::DeviceBuffer<u32>& in,
+                       sim::DeviceBuffer<u32>& out, BucketFn bucket_of,
+                       const RetryPolicy& rp) const {
+    check_keys(in, out);
+    return detail::run_resilient<BucketFn, u32>(
+        method_, *dev_, in, out, detail::kNoValues, detail::kNoValuesOut, m_,
+        bucket_of, cfg_, rp);
+  }
+
+  /// Resilient key-value execution.
+  template <typename BucketFn, typename V>
+  MultisplitResult run_pairs(const sim::DeviceBuffer<u32>& keys_in,
+                             const sim::DeviceBuffer<V>& vals_in,
+                             sim::DeviceBuffer<u32>& keys_out,
+                             sim::DeviceBuffer<V>& vals_out, BucketFn bucket_of,
+                             const RetryPolicy& rp) const {
+    static_assert(std::is_same_v<V, u32> || std::is_same_v<V, u64>,
+                  "multisplit values are u32 or u64 (use a pointer otherwise)");
+    check_pairs(keys_in, vals_in.size(), keys_out, vals_out.size());
+    check(&vals_in != &vals_out, "multisplit: in and out must be distinct");
+    return detail::run_resilient<BucketFn, V>(method_, *dev_, keys_in,
+                                              keys_out, &vals_in, &vals_out,
+                                              m_, bucket_of, cfg_, rp);
+  }
+
   /// Type-erased overloads (see BucketFunction in common.hpp).
   MultisplitResult run(const sim::DeviceBuffer<u32>& in,
                        sim::DeviceBuffer<u32>& out,
@@ -226,6 +524,16 @@ class MultisplitPlan {
                              sim::DeviceBuffer<u32>& keys_out,
                              sim::DeviceBuffer<u32>& vals_out,
                              const BucketFunction& bucket_of) const;
+  MultisplitResult run(const sim::DeviceBuffer<u32>& in,
+                       sim::DeviceBuffer<u32>& out,
+                       const BucketFunction& bucket_of,
+                       const RetryPolicy& rp) const;
+  MultisplitResult run_pairs(const sim::DeviceBuffer<u32>& keys_in,
+                             const sim::DeviceBuffer<u32>& vals_in,
+                             sim::DeviceBuffer<u32>& keys_out,
+                             sim::DeviceBuffer<u32>& vals_out,
+                             const BucketFunction& bucket_of,
+                             const RetryPolicy& rp) const;
 
  private:
   void check_keys(const sim::DeviceBuffer<u32>& in,

@@ -137,9 +137,16 @@ MultisplitResult reduced_bit_sort_ms(Device& dev,
   }
 
   // Bucket offsets from the sorted label vector (host-side, uncharged).
+  // Labels are device data and untrusted: under fault injection a flipped
+  // bit can push one outside [0, m), which must produce wrong offsets (the
+  // resilient executor's validation catches those), never an out-of-range
+  // host write.
   result.bucket_offsets.assign(m + 1, static_cast<u32>(n));
   result.bucket_offsets[0] = 0;
-  for (u64 i = n; i-- > 0;) result.bucket_offsets[labels[i]] = static_cast<u32>(i);
+  for (u64 i = n; i-- > 0;) {
+    const u32 lab = labels[i];
+    if (lab < m) result.bucket_offsets[lab] = static_cast<u32>(i);
+  }
   for (u32 j = m; j-- > 1;) {
     if (result.bucket_offsets[j] > result.bucket_offsets[j + 1])
       result.bucket_offsets[j] = result.bucket_offsets[j + 1];

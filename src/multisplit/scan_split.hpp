@@ -123,8 +123,14 @@ MultisplitResult scan_split_ms(Device& dev, const DeviceBuffer<u32>& keys_in,
   // Bucket offsets: derived host-side from the (already split) output;
   // uncharged verification convenience, as the split rounds themselves
   // never materialize a histogram.
+  // Output keys are device data and untrusted (see reduced_bit_sort.hpp):
+  // a corrupted key whose bucket falls outside [0, m) must produce wrong
+  // offsets, never an out-of-range host write.
   result.bucket_offsets.assign(m + 1, 0);
-  for (u64 i = 0; i < n; ++i) result.bucket_offsets[bucket_of(keys_out[i]) + 1]++;
+  for (u64 i = 0; i < n; ++i) {
+    const u32 b = bucket_of(keys_out[i]);
+    if (b < m) result.bucket_offsets[b + 1]++;
+  }
   for (u32 j = 0; j < m; ++j)
     result.bucket_offsets[j + 1] += result.bucket_offsets[j];
   return result;

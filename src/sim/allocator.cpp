@@ -1,8 +1,13 @@
 #include "sim/allocator.hpp"
 
+#include "sim/chaos.hpp"
+
 namespace ms::sim {
 
 u64 CachingAllocator::allocate(u64 bytes) {
+  // Chaos injection point: a simulated OOM throws here, before any stats
+  // move, so a failed allocation is indistinguishable from never asking.
+  if (chaos_ != nullptr) chaos_->maybe_fail_alloc(bytes);
   const u64 size = rounded(bytes);
   stats_.alloc_count += 1;
   stats_.bytes_requested += size;

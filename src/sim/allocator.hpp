@@ -44,6 +44,8 @@
 
 namespace ms::sim {
 
+class ChaosEngine;
+
 /// Lifetime counters for the device sub-allocator, surfaced through
 /// sim/metrics and the JSON reports (schema v4 `allocator` block).
 struct AllocatorStats {
@@ -111,6 +113,11 @@ class CachingAllocator {
 
   const AllocatorStats& stats() const { return stats_; }
 
+  /// Attach/detach the fault-injection engine (Device::enable_chaos).
+  /// When set, allocate() consults it FIRST -- an injected failure throws
+  /// before any stats are touched, leaving the allocator unchanged.
+  void set_chaos(ChaosEngine* chaos) { chaos_ = chaos; }
+
   /// High-water mark of the bump pointer == total address space ever
   /// reserved.  Bounded under alloc/free cycles with pooling on.
   u64 reserved_bytes() const { return next_addr_; }
@@ -131,6 +138,7 @@ class CachingAllocator {
   /// size).  Flushed to free_lists_ when the outermost scope closes.
   std::vector<std::pair<u64, u64>> pending_;
   AllocatorStats stats_;
+  ChaosEngine* chaos_ = nullptr;
 };
 
 }  // namespace ms::sim

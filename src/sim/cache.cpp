@@ -1,6 +1,14 @@
 #include "sim/cache.hpp"
 
+#include "sim/chaos.hpp"
+
 namespace ms::sim {
+
+void SectorCache::note_writeback(u64 sector) {
+  if (chaos_ != nullptr) {
+    chaos_->on_writeback(sector * sector_bytes_, sector_bytes_);
+  }
+}
 
 SectorCache::SectorCache(u32 capacity_bytes, u32 ways, u32 sector_bytes)
     : ways_(ways), sector_bytes_(sector_bytes) {
@@ -38,7 +46,10 @@ SectorCache::AccessResult SectorCache::read(u64 sector) {
     return r;
   }
   Line* line = victim(set);
-  if (line->tag != kInvalid && line->dirty) r.dram_write_tx += 1;
+  if (line->tag != kInvalid && line->dirty) {
+    r.dram_write_tx += 1;
+    note_writeback(line->tag);
+  }
   line->tag = sector;
   line->dirty = false;
   line->lru = ++tick_;
@@ -56,7 +67,10 @@ SectorCache::AccessResult SectorCache::write(u64 sector) {
     return r;
   }
   Line* line = victim(set);
-  if (line->tag != kInvalid && line->dirty) r.dram_write_tx += 1;
+  if (line->tag != kInvalid && line->dirty) {
+    r.dram_write_tx += 1;
+    note_writeback(line->tag);
+  }
   line->tag = sector;
   line->dirty = true;  // allocate-without-fill: cost paid at writeback
   line->lru = ++tick_;
@@ -69,6 +83,7 @@ u64 SectorCache::flush_dirty() {
     if (line.tag != kInvalid && line.dirty) {
       line.dirty = false;
       ++writebacks;
+      note_writeback(line.tag);
     }
   }
   return writebacks;

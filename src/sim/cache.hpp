@@ -18,6 +18,8 @@
 
 namespace ms::sim {
 
+class ChaosEngine;
+
 class SectorCache {
  public:
   struct AccessResult {
@@ -51,7 +53,15 @@ class SectorCache {
   u32 num_sets() const { return num_sets_; }
   u32 ways() const { return ways_; }
 
+  /// Attach/detach the fault-injection engine (Device::enable_chaos).
+  /// When set, every dirty-sector writeback (eviction or flush) gives the
+  /// engine a chance to corrupt the written-back range.  The writeback
+  /// stream is identical serial vs replayed-parallel (PR 4), so injections
+  /// here stay deterministic at any thread count.
+  void set_chaos(ChaosEngine* chaos) { chaos_ = chaos; }
+
  private:
+  void note_writeback(u64 sector);
   struct Line {
     u64 tag = kInvalid;
     u64 lru = 0;
@@ -67,6 +77,7 @@ class SectorCache {
   u32 num_sets_;
   u64 tick_ = 0;
   std::vector<Line> lines_;  // num_sets_ * ways_, set-major
+  ChaosEngine* chaos_ = nullptr;
 };
 
 }  // namespace ms::sim

@@ -1,0 +1,223 @@
+#include "sim/chaos.hpp"
+
+#include <cstring>
+#include <sstream>
+
+#include "sim/device.hpp"
+
+namespace ms::sim {
+
+namespace {
+
+/// splitmix64: the standard 64-bit finalizer-style mixer.  Counter-based
+/// use (hash of seed + counter) gives an arbitrary-access deterministic
+/// stream with no shared state between sites.
+u64 splitmix64(u64 x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+/// Per-site stream salts (arbitrary distinct constants): arming one fault
+/// class never perturbs another class's draw sequence.
+constexpr u64 kSiteSalt[kChaosSiteCount] = {
+    0xA110CFA11EDull,  // kAlloc
+    0x1A07C4AB027ull,  // kLaunch
+    0xB17F119F11Bull,  // kBitFlip
+    0x12CC0884C7Eull,  // kL2Writeback
+};
+
+}  // namespace
+
+const char* to_string(ChaosSite s) {
+  switch (s) {
+    case ChaosSite::kAlloc: return "alloc_failure";
+    case ChaosSite::kLaunch: return "launch_abort";
+    case ChaosSite::kBitFlip: return "bit_flip";
+    case ChaosSite::kL2Writeback: return "l2_corruption";
+  }
+  return "?";
+}
+
+ChaosEngine::ChaosEngine(ChaosPolicy policy, Device& dev,
+                         ResilienceStats& stats)
+    : policy_(policy), dev_(&dev), stats_(&stats) {}
+
+void ChaosEngine::register_buffer(u64 base, void* data, u64 bytes,
+                                  std::string label) {
+  buffers_[base] = BufferEntry{data, bytes, std::move(label), false};
+}
+
+void ChaosEngine::unregister_buffer(u64 base) { buffers_.erase(base); }
+
+void ChaosEngine::protect_buffer(u64 base) {
+  auto it = buffers_.find(base);
+  check(it != buffers_.end(), "chaos: protect_buffer of unregistered base");
+  it->second.protected_ = true;
+}
+
+void ChaosEngine::arm_alloc_failure(u64 skip) {
+  one_shot_[static_cast<u32>(ChaosSite::kAlloc)] = OneShot{true, skip};
+}
+
+void ChaosEngine::arm_launch_abort(u64 skip) {
+  one_shot_[static_cast<u32>(ChaosSite::kLaunch)] = OneShot{true, skip};
+}
+
+void ChaosEngine::arm_bit_flip(u64 base, u64 word, u32 bit,
+                               u64 skip_kernel_ends) {
+  check(bit < 32, "chaos: arm_bit_flip bit must be 0..31");
+  targeted_ = TargetedFlip{true, base, word, bit, skip_kernel_ends};
+}
+
+u64 ChaosEngine::draw(ChaosSite site) {
+  const u32 i = static_cast<u32>(site);
+  counters_[i] += 1;
+  return splitmix64((policy_.seed ^ kSiteSalt[i]) + counters_[i]);
+}
+
+bool ChaosEngine::decide(ChaosSite site, f64 p, u64& rnd) {
+  rnd = 0;
+  OneShot& os = one_shot_[static_cast<u32>(site)];
+  if (os.armed) {
+    if (os.countdown == 0) {
+      os.armed = false;
+      return true;
+    }
+    os.countdown -= 1;
+  }
+  if (p <= 0.0) return false;
+  rnd = draw(site);
+  if (p >= 1.0) return true;
+  // Compare against p * 2^64 without overflowing: scale to 2^32 twice.
+  const f64 scaled = p * 18446744073709551616.0;  // p * 2^64
+  return static_cast<f64>(rnd) < scaled;
+}
+
+ChaosEngine::BufferEntry* ChaosEngine::find_covering(u64 addr, u64* base_out) {
+  auto it = buffers_.upper_bound(addr);
+  if (it == buffers_.begin()) return nullptr;
+  --it;
+  if (addr >= it->first + it->second.bytes) return nullptr;
+  if (base_out != nullptr) *base_out = it->first;
+  return &it->second;
+}
+
+void ChaosEngine::flip_bit(BufferEntry& buf, u64 word, u32 bit,
+                           std::string_view kernel) {
+  if ((word + 1) * 4 > buf.bytes) return;  // target word out of range
+  // Flip bit `bit` of little-endian u32 word `word` via byte XOR -- no
+  // alignment assumption on the buffer's element type.
+  auto* bytes = static_cast<unsigned char*>(buf.data);
+  bytes[word * 4 + bit / 8] ^= static_cast<unsigned char>(1u << (bit % 8));
+  stats_->injected_bit_flips += 1;
+  InjectionRecord rec;
+  rec.site = ChaosSite::kBitFlip;
+  rec.kernel = std::string(kernel);
+  rec.object = buf.label;
+  rec.word = word;
+  rec.bit = bit;
+  rec.words = 1;
+  log_.push_back(std::move(rec));
+}
+
+void ChaosEngine::maybe_fail_alloc(u64 bytes) {
+  u64 rnd = 0;
+  if (!decide(ChaosSite::kAlloc, policy_.p_alloc_fail, rnd)) return;
+  stats_->injected_alloc_failures += 1;
+  const std::string& k = dev_->current_kernel_name();
+  InjectionRecord rec;
+  rec.site = ChaosSite::kAlloc;
+  rec.kernel = k.empty() ? "<host>" : k;
+  log_.push_back(rec);
+
+  FaultContext ctx;
+  ctx.kind = FaultKind::kAllocFailure;
+  ctx.kernel = rec.kernel;
+  ctx.object = "device address space";
+  ctx.extent = bytes;
+  ctx.detail = "chaos: injected allocation failure (simulated OOM)";
+  throw SimError(std::move(ctx));
+}
+
+void ChaosEngine::maybe_abort_launch() {
+  u64 rnd = 0;
+  if (!decide(ChaosSite::kLaunch, policy_.p_launch_abort, rnd)) return;
+  stats_->injected_launch_aborts += 1;
+  const std::string& k = dev_->current_kernel_name();
+  InjectionRecord rec;
+  rec.site = ChaosSite::kLaunch;
+  rec.kernel = k.empty() ? "<host>" : k;
+  log_.push_back(rec);
+
+  FaultContext ctx;
+  ctx.kind = FaultKind::kLaunchFailure;
+  ctx.kernel = rec.kernel;
+  ctx.detail = "chaos: injected kernel-launch abort";
+  throw SimError(std::move(ctx));
+}
+
+void ChaosEngine::on_kernel_end(std::string_view kernel) {
+  if (targeted_.armed) {
+    if (targeted_.countdown == 0) {
+      targeted_.armed = false;
+      if (auto it = buffers_.find(targeted_.base); it != buffers_.end()) {
+        flip_bit(it->second, targeted_.word, targeted_.bit, kernel);
+      }
+    } else {
+      targeted_.countdown -= 1;
+    }
+  }
+  u64 rnd = 0;
+  if (!decide(ChaosSite::kBitFlip, policy_.p_bit_flip, rnd)) return;
+  // Pick a victim among unprotected registered buffers with >= one u32
+  // word.  Map order (ascending base address) keeps the choice
+  // deterministic for a given registry state.
+  std::vector<BufferEntry*> candidates;
+  for (auto& [base, e] : buffers_) {
+    if (!e.protected_ && e.bytes >= 4) candidates.push_back(&e);
+  }
+  if (candidates.empty()) return;  // drew, but nothing to corrupt
+  u64 h = splitmix64(rnd);
+  BufferEntry& victim = *candidates[h % candidates.size()];
+  h = splitmix64(h);
+  const u64 word = h % (victim.bytes / 4);
+  h = splitmix64(h);
+  flip_bit(victim, word, static_cast<u32>(h % 32), kernel);
+}
+
+void ChaosEngine::on_writeback(u64 first_byte, u32 bytes) {
+  u64 rnd = 0;
+  if (!decide(ChaosSite::kL2Writeback, policy_.p_l2_corrupt, rnd)) return;
+  u64 base = 0;
+  BufferEntry* e = find_covering(first_byte, &base);
+  if (e == nullptr || e->protected_) return;  // drew, but no live target
+  // Scramble the u32 words of the buffer region this sector covers: XOR
+  // with a nonzero pattern derived from the draw (deterministic, and
+  // guaranteed to actually change the data).
+  const u64 begin = first_byte - base;
+  const u64 end = std::min<u64>(begin + bytes, e->bytes);
+  const u64 first_word = begin / 4;
+  const u64 last_word = end / 4;
+  if (last_word <= first_word) return;
+  const u32 pattern = static_cast<u32>(splitmix64(rnd)) | 1u;
+  auto* data = static_cast<unsigned char*>(e->data);
+  for (u64 wi = first_word; wi < last_word; ++wi) {
+    u32 v;
+    std::memcpy(&v, data + wi * 4, 4);
+    v ^= pattern;
+    std::memcpy(data + wi * 4, &v, 4);
+  }
+  stats_->injected_l2_corruptions += 1;
+  const std::string& k = dev_->current_kernel_name();
+  InjectionRecord rec;
+  rec.site = ChaosSite::kL2Writeback;
+  rec.kernel = k.empty() ? "<host>" : k;
+  rec.object = e->label;
+  rec.word = first_word;
+  rec.words = static_cast<u32>(last_word - first_word);
+  log_.push_back(std::move(rec));
+}
+
+}  // namespace ms::sim

@@ -1,0 +1,191 @@
+// Deterministic fault-injection campaign engine (the simulator's chaos
+// monkey).
+//
+// Production serving survives faults the happy path never sees: allocation
+// failures under memory pressure, aborted launches, transient bit flips in
+// device memory, corrupted cache writebacks.  The sanitizer (PR 2) detects
+// *program* bugs; this subsystem injects *environment* faults so the
+// resilient request executor (multisplit/plan.hpp) and its retry/fallback
+// machinery can be exercised and gated in CI -- the same positive-control
+// philosophy as sim/faultinject.hpp, scaled to campaigns.
+//
+// Design rules, mirroring the sanitizer's:
+//   * Off by default and ZERO overhead when off: every injection point is
+//     one null-pointer check (Device::chaos() == nullptr).  The chaos-off
+//     tolerance-0 baseline gates prove modeled costs stay bit-identical.
+//   * Deterministic: every decision comes from a counter-based splitmix64
+//     stream seeded by (policy seed ^ site salt).  Streams are per-site,
+//     so arming one fault class never perturbs another's draws, and the
+//     decision points all execute on the main thread (allocations, launch
+//     entry, kernel end, and the serially-replayed L2 writeback stream),
+//     so a campaign is bit-identical at any MS_HOST_THREADS.
+//   * Structured: injected alloc failures and launch aborts are thrown as
+//     SimError with FaultContext (kAllocFailure / kLaunchFailure) through
+//     the PR 2 error model; silent corruptions (bit flips, L2 scrambles)
+//     mutate live DeviceBuffer storage and are expected to be caught by
+//     the executor's output validation.
+//
+// One-shot arming (arm_alloc_failure / arm_launch_abort / arm_bit_flip)
+// fires a single injection at a precise upcoming decision event regardless
+// of the policy probabilities -- the unit-test / faultinject.hpp interface.
+#pragma once
+
+#include <array>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/sanitizer.hpp"
+#include "sim/types.hpp"
+
+namespace ms::sim {
+
+class Device;
+
+/// Injection sites the engine arms (one deterministic RNG stream each).
+enum class ChaosSite : u8 {
+  kAlloc = 0,     ///< CachingAllocator::allocate (simulated OOM)
+  kLaunch,        ///< Device::run_items entry (launch abort)
+  kBitFlip,       ///< Device::end_kernel (one bit of one live buffer word)
+  kL2Writeback,   ///< SectorCache dirty writeback (sector scramble)
+};
+inline constexpr u32 kChaosSiteCount = 4;
+const char* to_string(ChaosSite s);
+
+/// Declarative per-site fault probabilities, evaluated per decision event.
+struct ChaosPolicy {
+  u64 seed = 0xC405C0DEu;
+  /// P(an allocate() call fails with a structured kAllocFailure).
+  f64 p_alloc_fail = 0.0;
+  /// P(a kernel launch aborts with a structured kLaunchFailure).
+  f64 p_launch_abort = 0.0;
+  /// P(one bit of one random live registered buffer flips at kernel end).
+  f64 p_bit_flip = 0.0;
+  /// P(a dirty-sector writeback scrambles the words it covers).
+  f64 p_l2_corrupt = 0.0;
+
+  bool any() const {
+    return p_alloc_fail > 0.0 || p_launch_abort > 0.0 || p_bit_flip > 0.0 ||
+           p_l2_corrupt > 0.0;
+  }
+};
+
+/// One executed injection, in execution order (the campaign audit trail).
+struct InjectionRecord {
+  ChaosSite site = ChaosSite::kAlloc;
+  std::string kernel;  ///< kernel executing at injection time, or "<host>"
+  std::string object;  ///< corrupted buffer's label ("" for alloc/launch)
+  u64 word = 0;        ///< first corrupted u32 word index within the buffer
+  u32 bit = 0;         ///< flipped bit (bit flips only)
+  u32 words = 0;       ///< corrupted word count (0 for alloc/launch)
+};
+
+/// Injection and recovery counters, surfaced through MetricsReport and the
+/// schema-v6 "resilience" JSON block.  The injected_* fields are bumped by
+/// the ChaosEngine; the request-side fields by the resilient executor in
+/// multisplit/plan.hpp (which works with or without chaos armed).
+struct ResilienceStats {
+  u64 injected_alloc_failures = 0;
+  u64 injected_launch_aborts = 0;
+  u64 injected_bit_flips = 0;
+  u64 injected_l2_corruptions = 0;
+
+  u64 requests = 0;             ///< resilient executor entries
+  u64 faults_observed = 0;      ///< faults seen by the executor (any attempt)
+  u64 retries = 0;              ///< attempts beyond the first
+  u64 fallbacks = 0;            ///< method downgrades on the fallback ladder
+  u64 validation_failures = 0;  ///< output checks that caught corruption
+  u64 recovered = 0;            ///< requests that failed then succeeded
+  u64 lost = 0;                 ///< requests surfaced as structured errors
+
+  u64 injected_total() const {
+    return injected_alloc_failures + injected_launch_aborts +
+           injected_bit_flips + injected_l2_corruptions;
+  }
+};
+
+/// The engine.  Owned by Device (enable_chaos); all decision points run on
+/// the main thread (see header comment), so no locking is needed.
+class ChaosEngine {
+ public:
+  ChaosEngine(ChaosPolicy policy, Device& dev, ResilienceStats& stats);
+
+  const ChaosPolicy& policy() const { return policy_; }
+
+  // --- live-buffer registry (fed by DeviceBuffer while chaos is armed) ---
+  void register_buffer(u64 base, void* data, u64 bytes, std::string label);
+  void unregister_buffer(u64 base);
+  /// Exempt the buffer at `base` from bit flips and L2 corruption.
+  /// Campaigns protect request *inputs* so retries re-execute against
+  /// pristine data and ground-truth comparison stays meaningful; anything
+  /// else (outputs, scratch) is fair game.
+  void protect_buffer(u64 base);
+
+  // --- one-shot deterministic arming (positive controls) ---
+  /// Fail the (skip+1)-th allocate() from now with kAllocFailure.
+  void arm_alloc_failure(u64 skip = 0);
+  /// Abort the (skip+1)-th launch from now with kLaunchFailure.
+  void arm_launch_abort(u64 skip = 0);
+  /// At the end of the (skip_kernel_ends+1)-th kernel from now, flip bit
+  /// `bit` (0..31) of u32 word `word` of the registered buffer at `base`.
+  /// Silently does nothing if the buffer is gone by then.
+  void arm_bit_flip(u64 base, u64 word, u32 bit, u64 skip_kernel_ends = 0);
+
+  // --- decision points (called by allocator / device / cache) ---
+  /// Throws SimError{kAllocFailure} when the alloc-fail stream fires.
+  /// Called at the top of CachingAllocator::allocate, BEFORE any stats
+  /// are touched, so a failed allocation leaves the allocator unchanged.
+  void maybe_fail_alloc(u64 bytes);
+  /// Throws SimError{kLaunchFailure} when the launch-abort stream fires.
+  void maybe_abort_launch();
+  /// Bit-flip decision point (Device::end_kernel).  `kernel` stamps the
+  /// injection record.
+  void on_kernel_end(std::string_view kernel);
+  /// L2-writeback corruption decision point: `first_byte` / `bytes` is
+  /// the device address range of the sector being written back.  Only
+  /// corrupts when the range overlaps an unprotected registered buffer.
+  void on_writeback(u64 first_byte, u32 bytes);
+
+  /// Every injection executed so far, in order.
+  const std::vector<InjectionRecord>& log() const { return log_; }
+
+ private:
+  struct BufferEntry {
+    void* data = nullptr;
+    u64 bytes = 0;
+    std::string label;
+    bool protected_ = false;
+  };
+  struct OneShot {
+    bool armed = false;
+    u64 countdown = 0;
+  };
+
+  /// Next value of the site's counter-based stream.
+  u64 draw(ChaosSite site);
+  /// One-shot countdown (fires regardless of probability) or a Bernoulli
+  /// draw at probability `p`; returns the raw draw via `rnd` for target
+  /// selection when it fired probabilistically (0 for one-shot fires).
+  bool decide(ChaosSite site, f64 p, u64& rnd);
+  BufferEntry* find_covering(u64 addr, u64* base_out);
+  void flip_bit(BufferEntry& buf, u64 word, u32 bit, std::string_view kernel);
+
+  ChaosPolicy policy_;
+  Device* dev_;
+  ResilienceStats* stats_;
+  std::array<u64, kChaosSiteCount> counters_{};
+  std::array<OneShot, kChaosSiteCount> one_shot_{};
+  struct TargetedFlip {
+    bool armed = false;
+    u64 base = 0;
+    u64 word = 0;
+    u32 bit = 0;
+    u64 countdown = 0;
+  } targeted_;
+  /// base address -> live registered buffer (host storage + label).
+  std::map<u64, BufferEntry> buffers_;
+  std::vector<InjectionRecord> log_;
+};
+
+}  // namespace ms::sim

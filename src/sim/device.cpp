@@ -99,8 +99,41 @@ const KernelRecord& Device::end_kernel() {
   lifetime_l2_read_segments_ += rec.events.l2_read_segments;
   lifetime_dram_read_tx_ += rec.events.dram_read_tx;
   records_.push_back(std::move(rec));
+  // Chaos bit-flip decision point: transient device-memory corruption
+  // manifests between kernels (host storage mutates; no modeled cost --
+  // the corrupted VALUES may of course change later kernels' behavior).
+  if (chaos_ != nullptr) chaos_->on_kernel_end(records_.back().name);
   if (telem_ != nullptr) telem_->tick();
   return records_.back();
+}
+
+void Device::record_fault(FaultContext ctx) {
+  if (CounterShard* sh = detail::t_shard; sh != nullptr) {
+    // Worker path: park in the item's shard, no shared state touched.
+    // Within one item the first fault wins (serial call order).
+    if (!sh->fault.has_value()) sh->fault = std::move(ctx);
+    return;
+  }
+  std::lock_guard<std::mutex> lock(fault_mu_);
+  // First-fault-wins per launch: once a fault of the current launch is
+  // pending, later ones are dropped (matching ascending-item merge order).
+  if (in_kernel_ && pending_fault_) return;
+  last_error_ = std::move(ctx);
+  if (in_kernel_) pending_fault_ = true;
+}
+
+ChaosEngine& Device::enable_chaos(const ChaosPolicy& policy) {
+  if (chaos_ != nullptr) return *chaos_;
+  chaos_ = std::make_unique<ChaosEngine>(policy, *this, res_stats_);
+  alloc_.set_chaos(chaos_.get());
+  l2_.set_chaos(chaos_.get());
+  return *chaos_;
+}
+
+void Device::disable_chaos() {
+  alloc_.set_chaos(nullptr);
+  l2_.set_chaos(nullptr);
+  chaos_.reset();
 }
 
 u64 Device::allocate_address_range(u64 bytes) {
@@ -313,6 +346,11 @@ void Device::set_host_threads(u32 threads) {
 }
 
 void Device::run_items(u64 n, const std::function<void(u64)>& body) {
+  // Chaos launch-abort decision point: we are inside the launch helper's
+  // try block (begin_kernel already ran), so the thrown kLaunchFailure
+  // takes the normal aborted-launch path -- note_fault, a faulted
+  // KernelRecord, rethrow (or a sanitizer report in reporting mode).
+  if (chaos_ != nullptr) chaos_->maybe_abort_launch();
   const u32 threads = host_threads_;
   if (threads <= 1 || n <= 1) {
     for (u64 i = 0; i < n; ++i) body(i);
@@ -409,6 +447,17 @@ void Device::merge_shard(CounterShard& shard) {
     san_.report(std::move(r));
   }
   shard.reports.clear();
+  // Shard-parked record_fault: merges run in ascending item order, so the
+  // guard makes the lowest faulting item's context win -- the exact fault
+  // serial execution would have reported first.
+  if (shard.fault.has_value()) {
+    std::lock_guard<std::mutex> lock(fault_mu_);
+    if (!pending_fault_) {
+      last_error_ = std::move(*shard.fault);
+      pending_fault_ = true;
+    }
+    shard.fault.reset();
+  }
 }
 
 void Device::add_attributed(SiteId site, const KernelEvents& delta) {

@@ -21,6 +21,7 @@
 
 #include "sim/allocator.hpp"
 #include "sim/cache.hpp"
+#include "sim/chaos.hpp"
 #include "sim/cost_model.hpp"
 #include "sim/counters.hpp"
 #include "sim/events.hpp"
@@ -61,11 +62,21 @@ class Device {
   Sanitizer& sanitizer() { return san_; }
   const Sanitizer& sanitizer() const { return san_; }
   /// Record a fatal fault: parks it as last_error() and flags the kernel
-  /// record being finalized.  Called by the launch helpers' catch path.
+  /// record being finalized.  Called by the launch helpers' catch path
+  /// (main thread); the mutex makes the rare direct call from a foreign
+  /// thread safe too.
   void note_fault(const FaultContext& ctx) {
+    std::lock_guard<std::mutex> lock(fault_mu_);
     last_error_ = ctx;
     if (in_kernel_) pending_fault_ = true;
   }
+  /// Thread-safe, deterministic fault recording for kernel bodies.  On a
+  /// worker thread the fault parks in the executing item's shard and the
+  /// post-launch merge applies the LOWEST faulting item's context --
+  /// first-fault-wins in ascending item order, exactly the order serial
+  /// execution reports.  On the serial path (and between launches) it
+  /// applies the same rule directly: the first fault of a launch wins.
+  void record_fault(FaultContext ctx);
   /// The most recent fatal fault, if any (sticky, like cudaPeekAtLastError).
   const std::optional<FaultContext>& last_error() const { return last_error_; }
   /// Return and clear the sticky fault (the cudaGetLastError idiom).
@@ -201,6 +212,26 @@ class Device {
   f64 lifetime_ms() const { return lifetime_ms_; }
   u64 lifetime_launches() const { return lifetime_launches_; }
 
+  // --- fault injection (sim/chaos.hpp) ---
+  /// Arm the deterministic chaos engine with `policy`.  Idempotent like
+  /// enable_telemetry: the first call's policy wins; later calls return
+  /// the existing engine (use its one-shot arming APIs to add precise
+  /// injections).  Buffers created while armed register with the engine
+  /// and become corruption targets.
+  ChaosEngine& enable_chaos(const ChaosPolicy& policy);
+  /// Detach and destroy the engine; every injection point reverts to the
+  /// zero-overhead null check (live buffers simply stop being targets).
+  void disable_chaos();
+  /// The armed engine, or nullptr when chaos is off.
+  ChaosEngine* chaos() { return chaos_.get(); }
+  const ChaosEngine* chaos() const { return chaos_.get(); }
+
+  /// Injection and recovery counters (chaos engine + resilient executor).
+  /// Lifetime totals; all-zero on a device that never saw chaos or a
+  /// resilient run -- the schema-v6 "resilience" report block.
+  ResilienceStats& resilience_stats() { return res_stats_; }
+  const ResilienceStats& resilience_stats() const { return res_stats_; }
+
  private:
   /// Attribute `current_ - site_snapshot_` to the current site.
   void flush_site_delta();
@@ -227,6 +258,9 @@ class Device {
   SectorCache l2_;
   Sanitizer san_;
   std::optional<FaultContext> last_error_;
+  /// Guards last_error_ / pending_fault_ against record_fault from
+  /// foreign threads (worker-thread faults normally route via shards).
+  std::mutex fault_mu_;
   bool pending_fault_ = false;
   KernelEvents current_;
   std::string current_name_;
@@ -251,6 +285,9 @@ class Device {
   u32 host_threads_ = 1;
   std::unique_ptr<ThreadPool> pool_;     // lazily created, reused
   std::unique_ptr<LaunchSync> sync_;     // non-null only during run_items
+
+  std::unique_ptr<ChaosEngine> chaos_;   // null when chaos is off
+  ResilienceStats res_stats_;
 
   std::unique_ptr<Telemetry> telem_;     // null when telemetry is off
   /// Lifetime accumulators (updated at end_kernel; survive reset_stats).

@@ -105,4 +105,38 @@ inline void smem_overcommit(Device& dev) {
   });
 }
 
+// --- chaos-engine positive controls (sim/chaos.hpp) ---
+//
+// The injectors below arm the device's chaos engine for exactly one
+// deterministic fault and trigger it, the same positive-control role the
+// kernels above play for the sanitizer.  Each enables chaos with an
+// all-zero-probability policy, so nothing BUT the armed one-shot fires.
+
+/// chaos (alloc): the next device allocation fails with a simulated OOM.
+/// Throws SimError{kAllocFailure}; the allocator's stats are untouched.
+inline void alloc_failure(Device& dev) {
+  dev.enable_chaos(ChaosPolicy{}).arm_alloc_failure();
+  DeviceBuffer<u32> doomed(dev, 64, "inject::alloc_failure.doomed");
+}
+
+/// chaos (launch): the next kernel launch aborts before any item runs.
+/// Throws SimError{kLaunchFailure}.
+inline void launch_abort(Device& dev) {
+  dev.enable_chaos(ChaosPolicy{}).arm_launch_abort();
+  launch_warps(dev, "inject_launch_abort", 1, [&](Warp&, u64) {});
+}
+
+/// chaos (bit flip): flip one known bit of `buf` at the end of the next
+/// kernel.  The caller knows exactly which word changed, so tests can
+/// assert both the corruption and its detection.  `buf` must have been
+/// created AFTER chaos was enabled (construction registers it with the
+/// engine).
+template <typename T>
+inline void bit_flip(Device& dev, DeviceBuffer<T>& buf, u64 word, u32 bit) {
+  ChaosEngine* c = dev.chaos();
+  check(c != nullptr, "inject::bit_flip: enable_chaos first");
+  c->arm_bit_flip(buf.base_address(), word, bit);
+  launch_warps(dev, "inject_bit_flip", 1, [&](Warp&, u64) {});
+}
+
 }  // namespace ms::sim::inject

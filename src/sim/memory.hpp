@@ -39,6 +39,13 @@ class DeviceBuffer {
     shadow_ = dev.sanitizer().on_buffer_alloc(
         base_addr_, count, static_cast<u32>(sizeof(T)),
         object_label(name_, base_addr_));
+    // Chaos registry: buffers created while the engine is armed become
+    // corruption targets (bit flips, L2 writeback scrambles).  The raw
+    // vector heap pointer stays valid across moves of this object.
+    if (ChaosEngine* c = dev.chaos()) {
+      c->register_buffer(base_addr_, data_.data(), count * sizeof(T),
+                         object_label(name_, base_addr_));
+    }
   }
 
   DeviceBuffer(Device& dev, std::span<const T> init, std::string_view name = {})
@@ -147,6 +154,9 @@ class DeviceBuffer {
       dev_->sanitizer().on_buffer_free(base_addr_);
       shadow_ = nullptr;
     }
+    // Tolerant of chaos being enabled/disabled mid-lifetime: unregister
+    // is a no-op for a base the current engine never saw.
+    if (ChaosEngine* c = dev_->chaos()) c->unregister_buffer(base_addr_);
     dev_->free_address_range(base_addr_, data_.size() * sizeof(T));
   }
 

@@ -339,6 +339,7 @@ MetricsReport analyze_device(Device& dev, const RuleThresholds& th) {
   MetricsReport rep;
   rep.device = p.name;
   rep.allocator = dev.allocator().stats();
+  rep.resilience = dev.resilience_stats();
 
   f64 mem_sum = 0.0, issue_sum = 0.0;
   u32 run_peak = 0;
@@ -543,6 +544,24 @@ void write_metrics_json(JsonWriter& w, const MetricsReport& rep) {
   w.field("bytes_reserved", rep.allocator.bytes_reserved);
   w.field("bytes_cached", rep.allocator.bytes_cached);
   w.field("bytes_live", rep.allocator.bytes_live);
+  w.end_object();
+
+  // Fault-injection and resilient-executor accounting (schema v6).  All
+  // zeros when chaos is off and the plain entry points are used, so the
+  // tolerance-0 gates compare the block exactly.
+  w.key("resilience");
+  w.begin_object();
+  w.field("injected_alloc_failures", rep.resilience.injected_alloc_failures);
+  w.field("injected_launch_aborts", rep.resilience.injected_launch_aborts);
+  w.field("injected_bit_flips", rep.resilience.injected_bit_flips);
+  w.field("injected_l2_corruptions", rep.resilience.injected_l2_corruptions);
+  w.field("requests", rep.resilience.requests);
+  w.field("faults_observed", rep.resilience.faults_observed);
+  w.field("retries", rep.resilience.retries);
+  w.field("fallbacks", rep.resilience.fallbacks);
+  w.field("validation_failures", rep.resilience.validation_failures);
+  w.field("recovered", rep.resilience.recovered);
+  w.field("lost", rep.resilience.lost);
   w.end_object();
 
   w.key("kernels");

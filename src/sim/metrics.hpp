@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "sim/allocator.hpp"
+#include "sim/chaos.hpp"
 #include "sim/events.hpp"
 #include "sim/json.hpp"
 #include "sim/profile.hpp"
@@ -50,7 +51,10 @@ class Device;
 /// v5: bench host timing excludes the warm-up trial and reports both mean
 /// and min ("host_ms_min"); telemetry timelines (--telemetry JSONL,
 /// bench/history records) carry the same version stamp.
-inline constexpr u32 kReportSchemaVersion = 5;
+/// v6: reports gain the resilience block ("resilience": fault-injection
+/// and retry/fallback/validation accounting from the chaos engine and the
+/// resilient request executor; all zeros when chaos is off).
+inline constexpr u32 kReportSchemaVersion = 6;
 
 /// Which modeled pipe a kernel (or run) saturates.  Classified with a 5%
 /// margin: within it the two pipes are "balanced".
@@ -189,6 +193,7 @@ struct MetricsReport {
   KernelEvents events;
   DerivedMetrics aggregate;
   AllocatorStats allocator;                 // device-lifetime pool stats
+  ResilienceStats resilience;               // chaos + retry accounting (v6)
   std::vector<KernelGroupMetrics> kernels;  // first-launch order
   std::vector<SiteMetrics> sites;           // registration order, non-empty
   std::vector<Diagnosis> diagnoses;         // most severe first

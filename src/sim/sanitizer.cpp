@@ -21,6 +21,11 @@ const char* to_string(FaultKind k) {
     case FaultKind::kInvalidConfig:
       return "invalid multisplit configuration";
     case FaultKind::kLaunchFailure: return "kernel launch failure";
+    case FaultKind::kAllocFailure: return "device allocation failure";
+    case FaultKind::kValidationFailure:
+      return "output validation failure (resilience)";
+    case FaultKind::kRetryExhausted:
+      return "retry budget exhausted (resilience)";
   }
   return "unknown fault";
 }

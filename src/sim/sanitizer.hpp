@@ -55,6 +55,9 @@ enum class FaultKind : u8 {
   kSmemOvercommit,   // warning: shared allocation beyond device capacity
   kInvalidConfig,    // malformed MultisplitConfig rejected at plan build
   kLaunchFailure,    // a kernel launch was aborted by a fault
+  kAllocFailure,     // device allocation failed (chaos-injected OOM)
+  kValidationFailure,// resilient executor: output failed end-to-end check
+  kRetryExhausted,   // resilient executor: attempts/budget exhausted
 };
 
 enum class FaultSeverity : u8 { kError, kWarning };

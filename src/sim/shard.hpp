@@ -18,6 +18,7 @@
 // serially through the real cache model.
 #pragma once
 
+#include <optional>
 #include <utility>
 #include <vector>
 
@@ -55,6 +56,10 @@ struct CounterShard {
   u32 peak_smem = 0;
   std::vector<SectorOp> sector_ops;
   std::vector<FaultContext> reports;
+  /// First fault this item recorded via Device::record_fault (not thrown;
+  /// the body kept running).  The merge applies the lowest faulting
+  /// item's context -- deterministic first-fault-wins (see record_fault).
+  std::optional<FaultContext> fault;
   /// Fatal exception raised by this item's body (SimError or any other);
   /// the item's partial counters up to the throw are kept.
   std::exception_ptr error;

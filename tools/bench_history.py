@@ -25,8 +25,12 @@ import sys
 from pathlib import Path
 
 # Must match kReportSchemaVersion (src/sim/metrics.hpp) and
-# check_bench.py's SCHEMA_VERSION.
-SCHEMA_VERSION = 5
+# check_bench.py's SCHEMA_VERSION.  History records are append-only, so
+# older stamps stay readable as long as the record fields are unchanged:
+# v6 only added the "resilience" block to metrics reports -- history rows
+# carry the same fields as v5.
+SCHEMA_VERSION = 6
+COMPATIBLE_VERSIONS = (5, 6)
 
 REQUIRED_FIELDS = (
     "history", "schema_version", "utc", "git_sha", "bench", "device",
@@ -56,11 +60,11 @@ def load_history(path):
         if entry["history"] != "bench_run":
             raise SystemExit(
                 f"FAIL: {path}:{lineno}: not a bench_run record")
-        if entry["schema_version"] != SCHEMA_VERSION:
+        if entry["schema_version"] not in COMPATIBLE_VERSIONS:
             raise SystemExit(
                 f"FAIL: {path}:{lineno}: schema_version "
                 f"{entry['schema_version']!r}, this tool reads "
-                f"{SCHEMA_VERSION}")
+                f"{COMPATIBLE_VERSIONS}")
         entries.append(entry)
     return entries
 

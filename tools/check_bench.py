@@ -45,7 +45,11 @@ from pathlib import Path
 # result rows record the concrete method that ran ("method_selected").
 # v5: bench host timing excludes the warm-up trial and adds host_ms_min;
 # telemetry timelines and history records carry the same stamp.
-SCHEMA_VERSION = 5
+# v6: reports carry the "resilience" block (chaos-injected fault counts and
+# the resilient executor's retry/fallback/recovery accounting).  All zeros
+# in bench reports -- chaos is off there -- so the block never perturbs
+# comparisons at any tolerance.
+SCHEMA_VERSION = 6
 
 # Per-site counters compared exactly under --sites.  Integer event counts:
 # any deviation is a real behavior change, never rounding.

@@ -30,6 +30,7 @@
 
 #include <iostream>
 
+#include "multisplit/chaos_campaign.hpp"
 #include "multisplit/multisplit.hpp"
 #include "multisplit/sort_baselines.hpp"
 #include "sim/cost_model.hpp"
@@ -92,7 +93,13 @@ void usage(const char* argv0) {
       "       [--json <file>]  compare two reports; exit 1 on drift\n"
       "  top <timeline.jsonl>  render the latest telemetry snapshot of a\n"
       "                        --telemetry timeline as Prometheus text\n"
-      "                        (+ latency percentile table)\n");
+      "                        (+ latency percentile table)\n"
+      "  chaos [--requests N] [--n <log2>] [--m <buckets>] [--seed <u64>]\n"
+      "        [--chaos-seed <u64>]\n"
+      "                        run a deterministic fault-injection campaign\n"
+      "                        over the resilient executor; exit 1 unless\n"
+      "                        every injected fault was recovered or\n"
+      "                        surfaced as a structured error\n");
 }
 
 struct Args {
@@ -435,6 +442,46 @@ int cmd_top(int argc, char** argv) {
   return 0;
 }
 
+/// `ms_cli chaos [...]`: run one seeded fault-injection campaign and print
+/// the recovery table.  Exit 0 = clean (every fault recovered or surfaced
+/// as a structured error), 1 = silent wrong results or lost requests,
+/// 2 = bad arguments.
+int cmd_chaos(int argc, char** argv) {
+  split::ChaosCampaignConfig cfg;
+  for (int i = 1; i < argc; ++i) {
+    const auto next = [&]() -> std::optional<std::string> {
+      if (i + 1 >= argc) return std::nullopt;
+      return std::string(argv[++i]);
+    };
+    const std::string arg = argv[i];
+    std::optional<std::string> v;
+    if (arg == "--requests" && (v = next())) {
+      cfg.requests = static_cast<u32>(std::stoul(*v));
+    } else if (arg == "--n" && (v = next())) {
+      cfg.log2_n = static_cast<u32>(std::stoul(*v));
+    } else if (arg == "--m" && (v = next())) {
+      cfg.m = static_cast<u32>(std::stoul(*v));
+    } else if (arg == "--seed" && (v = next())) {
+      cfg.seed = std::stoull(*v, nullptr, 0);
+    } else if (arg == "--chaos-seed" && (v = next())) {
+      cfg.chaos.seed = std::stoull(*v, nullptr, 0);
+    } else if (arg == "--device" && (v = next())) {
+      cfg.profile = *v;
+    } else {
+      std::printf(
+          "chaos: unknown or incomplete option '%s'\n"
+          "usage: ms_cli chaos [--requests N] [--n <log2>] [--m <buckets>]\n"
+          "                    [--seed <u64>] [--chaos-seed <u64>]\n"
+          "                    [--device k40c|750ti|sol]\n",
+          arg.c_str());
+      return 2;
+    }
+  }
+  const split::ChaosCampaignReport rep = split::run_chaos_campaign(cfg);
+  std::fputs(split::format_campaign(rep).c_str(), stdout);
+  return rep.clean() ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -449,6 +496,9 @@ int main(int argc, char** argv) {
   if (argc > 1 && !std::strcmp(argv[1], "top")) {
     return cmd_top(argc - 1, argv + 1);
   }
+  if (argc > 1 && !std::strcmp(argv[1], "chaos")) {
+    return cmd_chaos(argc - 1, argv + 1);
+  }
   Args a;
   int argi = 1;
   if (argc > 1 && !std::strcmp(argv[1], "metrics")) {
@@ -457,8 +507,8 @@ int main(int argc, char** argv) {
   } else if (argc > 1 && argv[1][0] != '-') {
     // A bare word that is not a known subcommand must not fall through to
     // flag parsing ("ms_cli metrcs" silently running the default method).
-    std::printf("unknown subcommand '%s' (expected diff, metrics or top; "
-                "try --help)\n",
+    std::printf("unknown subcommand '%s' (expected chaos, diff, metrics or "
+                "top; try --help)\n",
                 argv[1]);
     return 2;
   }
