@@ -47,10 +47,14 @@ struct Options {
   /// the first instrumented device in the process (plan_reuse wires it to
   /// the pooled serving loop instead -- the interesting timeline).
   std::string telemetry_path;
+  /// --spans <file>: JSONL request-span dump (sim/span.hpp) of the same
+  /// device --telemetry instruments (`ms_cli tail` consumes it).
+  std::string spans_path;
   /// Set once the first run has emitted its trace (only one run per process
   /// gets the trace -- otherwise later runs would overwrite it).
   mutable bool trace_written = false;
   mutable bool telemetry_written = false;
+  mutable bool spans_written = false;
 
   /// Strict parser: unknown flags, missing values, and unknown device
   /// names are hard errors (exit 2), not silent fallbacks.  Benches that
@@ -111,9 +115,12 @@ struct Options {
         o.trace_path = value("--trace");
       } else if (!std::strcmp(argv[i], "--telemetry") && machine_readable) {
         o.telemetry_path = value("--telemetry");
+      } else if (!std::strcmp(argv[i], "--spans") && machine_readable) {
+        o.spans_path = value("--spans");
       } else if (!std::strcmp(argv[i], "--json") ||
                  !std::strcmp(argv[i], "--trace") ||
-                 !std::strcmp(argv[i], "--telemetry")) {
+                 !std::strcmp(argv[i], "--telemetry") ||
+                 !std::strcmp(argv[i], "--spans")) {
         std::fprintf(stderr, "%s: %s is not supported by this bench\n",
                      argv[0], argv[i]);
         std::exit(2);
@@ -124,7 +131,8 @@ struct Options {
             "[--method <token|auto>]%s\n",
             argv[0],
             machine_readable
-                ? " [--json <file>] [--trace <file>] [--telemetry <file>]"
+                ? " [--json <file>] [--trace <file>] [--telemetry <file>] "
+                  "[--spans <file>]"
                 : "");
         std::exit(0);
       } else {

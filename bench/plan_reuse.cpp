@@ -23,6 +23,7 @@
 // what shrinks), address space and pool-reuse stats.  The bench asserts
 // the plan-reuse mode wins on every axis; the smoke test runs it at n=2^14.
 #include "bench_common.hpp"
+#include "sim/span.hpp"
 
 using namespace ms;
 using namespace ms::bench;
@@ -54,6 +55,10 @@ ModeResult run_mode(const Options& opt, u32 m, bool pooled) {
   // climb, per-request latency percentiles over the iterations).
   const bool telemetered = pooled && !opt.telemetry_path.empty();
   if (telemetered) dev.enable_telemetry();
+  // --spans instruments the same pooled loop: one request span per
+  // iteration, linked from the telemetry histograms by exemplar trace ids.
+  const bool spanned = pooled && !opt.spans_path.empty();
+  if (spanned) dev.enable_spans();
 
   split::MultisplitConfig cfg;
   cfg.method = opt.method.value_or(split::Method::kBlockLevel);
@@ -129,6 +134,13 @@ ModeResult run_mode(const Options& opt, u32 m, bool pooled) {
     opt.telemetry_written = sim::write_timeline_jsonl_file(
         opt.telemetry_path, t, "plan_reuse", opt.profile().name);
     check(opt.telemetry_written, "plan_reuse: cannot write --telemetry file");
+  }
+  if (spanned) {
+    check(dev.spans()->trace_count() == kIterations,
+          "plan_reuse: span trace count diverges from the loop");
+    opt.spans_written = sim::write_spans_jsonl_file(
+        opt.spans_path, *dev.spans(), "plan_reuse", opt.profile().name);
+    check(opt.spans_written, "plan_reuse: cannot write --spans file");
   }
   return res;
 }

@@ -349,6 +349,10 @@ MultisplitResult block_ms(Device& dev, const DeviceBuffer<u32>& keys_in,
   });
 
   const sim::TimingSummary postscan_sum = postscan_region.end();
+  // Span-only epilogue stage (host-side offsets assembly launches no
+  // kernels, so no ProfileRegion: regions()/trace stage bands unchanged).
+  sim::SpanScope epilogue_span(dev, sim::SpanKind::kStage,
+                               "block_ms/epilogue");
   result.stages.prescan_ms = prescan_sum.total_ms;
   result.stages.scan_ms = scan_sum.total_ms;
   result.stages.postscan_ms = postscan_sum.total_ms;

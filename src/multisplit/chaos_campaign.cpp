@@ -6,6 +6,7 @@
 #include "multisplit/bucket.hpp"
 #include "multisplit/plan.hpp"
 #include "sim/memory.hpp"
+#include "sim/span.hpp"
 
 namespace ms::split {
 
@@ -50,6 +51,7 @@ ChaosCampaignReport run_chaos_campaign(const ChaosCampaignConfig& cfg) {
 
   sim::Device dev(profile_by_name(cfg.profile));
   dev.enable_chaos(cfg.chaos);
+  if (cfg.record_spans) dev.enable_spans();
 
   const u64 n = u64{1} << cfg.log2_n;
   // Created AFTER enable_chaos, so both register with the engine.  The
@@ -142,6 +144,12 @@ ChaosCampaignReport run_chaos_campaign(const ChaosCampaignConfig& cfg) {
 
   rep.stats = dev.resilience_stats();
   rep.injections = dev.chaos()->log();
+  if (cfg.record_spans) {
+    std::ostringstream spans;
+    sim::write_spans_jsonl(spans, *dev.spans(), "chaos_campaign",
+                           dev.profile().name);
+    rep.spans_jsonl = spans.str();
+  }
   return rep;
 }
 

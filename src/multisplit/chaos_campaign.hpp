@@ -46,6 +46,9 @@ struct ChaosCampaignConfig {
   RetryPolicy retry = {.retry_data_faults = true};
   /// Device profile name ("" = default profile).
   std::string profile;
+  /// Record request/attempt/stage/launch spans (sim/span.hpp) and return
+  /// the serialized dump in ChaosCampaignReport::spans_jsonl.
+  bool record_spans = false;
 };
 
 /// Outcome tallies; requests = ok_first_try + recovered + structured_errors
@@ -63,6 +66,9 @@ struct ChaosCampaignReport {
   sim::ResilienceStats stats;
   /// Execution-order audit trail of every injected fault.
   std::vector<sim::InjectionRecord> injections;
+  /// Span dump (JSONL text) when config.record_spans was set; the device
+  /// is campaign-local, so the dump is serialized before it is destroyed.
+  std::string spans_jsonl;
 
   u32 total() const {
     return ok_first_try + recovered + structured_errors + silent_wrong;

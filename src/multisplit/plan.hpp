@@ -130,6 +130,19 @@ MultisplitResult run_method(Method method, sim::Device& dev,
                             BucketFn bucket_of, const MultisplitConfig& cfg) {
   const u32 idx = static_cast<u32>(method);
   check(idx < kConcreteMethodCount, "multisplit: method not resolved");
+  // Span bracket: a plain run is its own request span; under the
+  // resilient executor (which already opened one) each run_method call
+  // is one attempt span.  Both are no-ops without a recorder.
+  sim::SpanRecorder* rec = dev.spans();
+  std::optional<sim::SpanScope> request_span;
+  if (rec != nullptr && !rec->in_request()) {
+    request_span.emplace(dev, sim::SpanKind::kRequest, method_token(method));
+  }
+  sim::SpanScope attempt_span(dev, sim::SpanKind::kAttempt,
+                              method_token(method));
+  // The trace id this request's latency samples carry as their exemplar
+  // (0 without tracing: histograms then record no exemplar).
+  const u64 trace_id = rec != nullptr ? rec->current_trace() : 0;
   // Request bracket for serving telemetry: no-op unless the device has a
   // registry attached; records host + modeled latency per request.
   sim::TelemetryRequestScope telem(dev);
@@ -149,14 +162,16 @@ MultisplitResult run_method(Method method, sim::Device& dev,
     // request reuses this run's address ranges instead of leaking them),
     // and the telemetry bracket closes with the modeled time actually
     // spent, so faulted requests are visible in the request histograms
-    // rather than silently dropped mid-flight.
-    telem.finish(dev.lifetime_ms() - t0);
+    // rather than silently dropped mid-flight.  The span scopes close
+    // during unwinding, so the attempt (and root request) span still
+    // records its end and counter deltas for aborted runs.
+    telem.finish(dev.lifetime_ms() - t0, trace_id);
     throw;
   }
   r.method_selected = method;
   // finish() after the scope closed: a snapshot taken at this tick sees
   // the allocator with this run's scratch already back on the free lists.
-  telem.finish(r.total_ms());
+  telem.finish(r.total_ms(), trace_id);
   return r;
 }
 
@@ -314,6 +329,13 @@ MultisplitResult run_resilient(Method initial, sim::Device& dev,
   // ever sees faults raised by THIS request's attempts.
   (void)dev.take_last_error();
 
+  // The request span for the whole resilient execution: attempt spans
+  // (opened by run_method) nest under it, and retry / fallback /
+  // validation events attach to it with the fault that caused them.
+  sim::SpanRecorder* rec = dev.spans();
+  sim::SpanScope request_span(dev, sim::SpanKind::kRequest,
+                              method_token(initial));
+
   ResilienceInfo info;
   Method cur = initial;
   u32 tries_on_method = 0;
@@ -361,6 +383,10 @@ MultisplitResult run_resilient(Method initial, sim::Device& dev,
         ctx.kernel = "<resilience>";
         ctx.object = "multisplit output";
         ctx.detail = why;
+        if (rec != nullptr) {
+          rec->event(sim::SpanEvent{dev.lifetime_ms(), "validation_failure",
+                                    why, ctx});
+        }
         fault = std::move(ctx);
       }
     }
@@ -372,7 +398,9 @@ MultisplitResult run_resilient(Method initial, sim::Device& dev,
         rs.recovered += 1;
         if (telem != nullptr) {
           telem->counter("resilience.recovered").add(1);
-          telem->histogram("request.retry_ms").record_ms(spent_ms);
+          telem->histogram("request.retry_ms")
+              .record_ms(spent_ms,
+                         rec != nullptr ? rec->current_trace() : 0);
         }
       }
       return r;
@@ -394,6 +422,11 @@ MultisplitResult run_resilient(Method initial, sim::Device& dev,
     // clock would break bit-reproducibility of campaign reports.
     info.backoff_ms += next_backoff;
     spent_ms += next_backoff;
+    if (request_span.active()) {
+      rec->add_backoff(request_span.id(), next_backoff);
+      rec->event(sim::SpanEvent{dev.lifetime_ms(), "retry",
+                                method_token(cur), *fault});
+    }
     next_backoff *= rp.backoff_multiplier;
     info.retries += 1;
     rs.retries += 1;
@@ -406,6 +439,10 @@ MultisplitResult run_resilient(Method initial, sim::Device& dev,
         info.fallbacks += 1;
         rs.fallbacks += 1;
         if (telem != nullptr) telem->counter("resilience.fallbacks").add(1);
+        if (request_span.active()) {
+          rec->event(sim::SpanEvent{dev.lifetime_ms(), "fallback",
+                                    method_token(cur), *fault});
+        }
       }
       // Ladder exhausted: keep retrying the current method until the
       // attempt budget runs out.

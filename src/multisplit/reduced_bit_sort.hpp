@@ -136,6 +136,10 @@ MultisplitResult reduced_bit_sort_ms(Device& dev,
     result.summary += unpack_sum;
   }
 
+  // Span-only epilogue stage over the host-side offsets derivation below
+  // (no kernels, so no ProfileRegion / trace stage band is added).
+  sim::SpanScope epilogue_span(dev, sim::SpanKind::kStage,
+                               "reduced_bit/epilogue");
   // Bucket offsets from the sorted label vector (host-side, uncharged).
   // Labels are device data and untrusted: under fault injection a flipped
   // bit can push one outside [0, m), which must produce wrong offsets (the

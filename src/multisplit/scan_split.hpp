@@ -120,6 +120,10 @@ MultisplitResult scan_split_ms(Device& dev, const DeviceBuffer<u32>& keys_in,
     src_v = dst_v;
   }
   check(src_k == &keys_out, "scan_split: ping-pong ended in wrong buffer");
+  // Span-only epilogue stage over the host-side offsets derivation below
+  // (no kernels, so no ProfileRegion / trace stage band is added).
+  sim::SpanScope epilogue_span(dev, sim::SpanKind::kStage,
+                               "scan_split/epilogue");
   // Bucket offsets: derived host-side from the (already split) output;
   // uncharged verification convenience, as the split rounds themselves
   // never materialize a histogram.

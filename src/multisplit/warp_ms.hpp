@@ -369,6 +369,10 @@ MultisplitResult warp_granularity_ms(Device& dev,
   });
 
   const sim::TimingSummary postscan_sum = postscan_region.end();
+  // Span-only epilogue stage (host-side offsets assembly launches no
+  // kernels, so no ProfileRegion: regions()/trace stage bands unchanged).
+  sim::SpanScope epilogue_span(dev, sim::SpanKind::kStage,
+                               std::string(tag) + "/epilogue");
   result.stages.prescan_ms = prescan_sum.total_ms;
   result.stages.scan_ms = scan_sum.total_ms;
   result.stages.postscan_ms = postscan_sum.total_ms;

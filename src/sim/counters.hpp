@@ -84,6 +84,7 @@ class ProfileRegion {
   Device* dev_;
   std::string name_;
   u64 begin_;
+  u64 span_id_ = 0;  ///< stage span, when the device traces a request
   bool ended_ = false;
   TimingSummary final_;
 };

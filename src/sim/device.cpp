@@ -61,6 +61,14 @@ void Device::begin_kernel(std::string name) {
   kernel_sites_.clear();
   current_peak_smem_ = 0;
   current_name_ = std::move(name);
+  // Launch span: one per kernel executed inside a request.  Opened here
+  // (main thread) so kernel-body faults attach to it; end_kernel closes
+  // it after the lifetime clock advances, so its duration is exactly the
+  // kernel's modeled time.
+  if (spans_ != nullptr && spans_->in_request()) {
+    launch_span_ = open_span(SpanKind::kLaunch, current_name_);
+    spans_->set_overhead(launch_span_, profile_.kernel_launch_us / 1000.0);
+  }
 }
 
 const KernelRecord& Device::end_kernel() {
@@ -99,6 +107,14 @@ const KernelRecord& Device::end_kernel() {
   lifetime_l2_read_segments_ += rec.events.l2_read_segments;
   lifetime_dram_read_tx_ += rec.events.dram_read_tx;
   records_.push_back(std::move(rec));
+  // Close the launch span now that the lifetime clock includes this
+  // kernel -- and before the chaos hook, which may mutate buffers but
+  // belongs to no launch.  Aborted launches reach here too (the launch
+  // helpers' catch path calls end_kernel), so the span always closes.
+  if (launch_span_ != 0) {
+    close_span(launch_span_);
+    launch_span_ = 0;
+  }
   // Chaos bit-flip decision point: transient device-memory corruption
   // manifests between kernels (host storage mutates; no modeled cost --
   // the corrupted VALUES may of course change later kernels' behavior).
@@ -110,14 +126,25 @@ const KernelRecord& Device::end_kernel() {
 void Device::record_fault(FaultContext ctx) {
   if (CounterShard* sh = detail::t_shard; sh != nullptr) {
     // Worker path: park in the item's shard, no shared state touched.
-    // Within one item the first fault wins (serial call order).
-    if (!sh->fault.has_value()) sh->fault = std::move(ctx);
+    // Within one item the first fault wins (serial call order).  The
+    // span event parks alongside it and is forwarded at merge time only
+    // if this item's fault wins (lifetime_ms_ is stable mid-kernel, so
+    // the timestamp matches what the serial path would record).
+    if (!sh->fault.has_value()) {
+      if (spans_ != nullptr) {
+        sh->span_events.push_back(SpanEvent{lifetime_ms_, "fault", {}, ctx});
+      }
+      sh->fault = std::move(ctx);
+    }
     return;
   }
   std::lock_guard<std::mutex> lock(fault_mu_);
   // First-fault-wins per launch: once a fault of the current launch is
   // pending, later ones are dropped (matching ascending-item merge order).
   if (in_kernel_ && pending_fault_) return;
+  if (spans_ != nullptr) {
+    spans_->event(SpanEvent{lifetime_ms_, "fault", {}, ctx});
+  }
   last_error_ = std::move(ctx);
   if (in_kernel_) pending_fault_ = true;
 }
@@ -254,9 +281,25 @@ void Device::flush_site_delta() {
 
 Device::~Device() = default;
 
+SpanRecorder& Device::enable_spans() {
+  if (spans_ == nullptr) spans_ = std::make_unique<SpanRecorder>();
+  return *spans_;
+}
+
 Telemetry& Device::enable_telemetry(const TelemetryConfig& cfg) {
   if (telem_ != nullptr) return *telem_;
   telem_ = std::make_unique<Telemetry>(cfg);
+  // Pre-register the resilient executor's instruments so every snapshot
+  // carries them (zero-valued until a resilient run records something)
+  // and `ms_cli top` renders the full resilience picture even for runs
+  // that never faulted.
+  telem_->counter("resilience.faults");
+  telem_->counter("resilience.retries");
+  telem_->counter("resilience.fallbacks");
+  telem_->counter("resilience.recovered");
+  telem_->counter("resilience.lost");
+  telem_->counter("resilience.validation_failures");
+  telem_->histogram("request.retry_ms");
   // Interval state lives in a shared_ptr captured by the provider: the
   // deltas between consecutive snapshots turn lifetime totals into
   // interval rates (L2 hit rate per interval, reuse-hit rate per
@@ -449,15 +492,20 @@ void Device::merge_shard(CounterShard& shard) {
   shard.reports.clear();
   // Shard-parked record_fault: merges run in ascending item order, so the
   // guard makes the lowest faulting item's context win -- the exact fault
-  // serial execution would have reported first.
+  // serial execution would have reported first.  Its parked span events
+  // are forwarded only on a win, matching the serial emission rule.
   if (shard.fault.has_value()) {
     std::lock_guard<std::mutex> lock(fault_mu_);
     if (!pending_fault_) {
+      if (spans_ != nullptr) {
+        for (SpanEvent& ev : shard.span_events) spans_->event(std::move(ev));
+      }
       last_error_ = std::move(*shard.fault);
       pending_fault_ = true;
     }
     shard.fault.reset();
   }
+  shard.span_events.clear();
 }
 
 void Device::add_attributed(SiteId site, const KernelEvents& delta) {

@@ -28,6 +28,7 @@
 #include "sim/profile.hpp"
 #include "sim/sanitizer.hpp"
 #include "sim/shard.hpp"
+#include "sim/span.hpp"
 #include "sim/types.hpp"
 
 namespace ms::sim {
@@ -69,6 +70,12 @@ class Device {
     std::lock_guard<std::mutex> lock(fault_mu_);
     last_error_ = ctx;
     if (in_kernel_) pending_fault_ = true;
+    // Attach the fault to the innermost open span (the launch span for
+    // aborted kernels).  Main-thread calls only: worker-thread faults
+    // route through record_fault's shard channel instead.
+    if (spans_ != nullptr && detail::t_shard == nullptr) {
+      spans_->event(SpanEvent{lifetime_ms_, "fault", {}, ctx});
+    }
   }
   /// Thread-safe, deterministic fault recording for kernel bodies.  On a
   /// worker thread the fault parks in the executing item's shard and the
@@ -232,6 +239,33 @@ class Device {
   ResilienceStats& resilience_stats() { return res_stats_; }
   const ResilienceStats& resilience_stats() const { return res_stats_; }
 
+  // --- request-scoped span tracing (sim/span.hpp) ---
+  /// Attach a span recorder.  Plan executions then open request /
+  /// attempt / stage spans and every kernel launch inside a request gets
+  /// a launch span.  Spans only *read* modeled state: modeled costs are
+  /// bit-identical with tracing on or off.  Idempotent.
+  SpanRecorder& enable_spans();
+  /// The attached recorder, or nullptr when tracing is off.
+  SpanRecorder* spans() { return spans_.get(); }
+  const SpanRecorder* spans() const { return spans_.get(); }
+
+  /// Open / close a span against the device lifetime clock and the span
+  /// counter snapshot.  Main thread only; requires enable_spans().
+  /// SpanScope is the RAII front-end.
+  u64 open_span(SpanKind kind, std::string name) {
+    return spans_->begin(kind, std::move(name), lifetime_ms_,
+                         span_counters_now());
+  }
+  void close_span(u64 id) {
+    spans_->end(id, lifetime_ms_, span_counters_now());
+  }
+  /// Snapshot of the lifetime counters spans track as deltas.
+  SpanCounters span_counters_now() const {
+    return SpanCounters{lifetime_launches_, lifetime_l2_read_segments_,
+                        lifetime_dram_read_tx_, alloc_.stats().alloc_count,
+                        alloc_.stats().reuse_hits};
+  }
+
  private:
   /// Attribute `current_ - site_snapshot_` to the current site.
   void flush_site_delta();
@@ -290,6 +324,10 @@ class Device {
   ResilienceStats res_stats_;
 
   std::unique_ptr<Telemetry> telem_;     // null when telemetry is off
+  std::unique_ptr<SpanRecorder> spans_;  // null when span tracing is off
+  /// Launch span of the kernel currently executing (0 when none: tracing
+  /// off, or the launch happened outside a request span).
+  u64 launch_span_ = 0;
   /// Lifetime accumulators (updated at end_kernel; survive reset_stats).
   f64 lifetime_ms_ = 0.0;
   u64 lifetime_launches_ = 0;

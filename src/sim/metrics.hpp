@@ -54,7 +54,11 @@ class Device;
 /// v6: reports gain the resilience block ("resilience": fault-injection
 /// and retry/fallback/validation accounting from the chaos engine and the
 /// resilient request executor; all zeros when chaos is off).
-inline constexpr u32 kReportSchemaVersion = 6;
+/// v7: request-span dumps (--spans JSONL, sim/span.hpp) carry this stamp;
+/// telemetry timeline histograms gain optional exemplar trace-id fields
+/// (p50_trace/p95_trace/p99_trace/p999_trace/max_trace, present only when
+/// a traced request landed in the percentile's bucket).
+inline constexpr u32 kReportSchemaVersion = 7;
 
 /// Which modeled pipe a kernel (or run) saturates.  Classified with a 5%
 /// margin: within it the two pipes are "balanced".

@@ -24,6 +24,7 @@
 
 #include "sim/events.hpp"
 #include "sim/sanitizer.hpp"
+#include "sim/span.hpp"
 #include "sim/types.hpp"
 
 namespace ms::sim {
@@ -60,6 +61,11 @@ struct CounterShard {
   /// the body kept running).  The merge applies the lowest faulting
   /// item's context -- deterministic first-fault-wins (see record_fault).
   std::optional<FaultContext> fault;
+  /// Span events parked by this item (the fault above, when span tracing
+  /// is on).  Forwarded to the recorder at merge time only when the
+  /// item's fault wins, so serial and parallel runs attach the exact
+  /// same events in the exact same order.
+  std::vector<SpanEvent> span_events;
   /// Fatal exception raised by this item's body (SimError or any other);
   /// the item's partial counters up to the throw are kept.
   std::exception_ptr error;

@@ -1,0 +1,181 @@
+#include "sim/span.hpp"
+
+#include <fstream>
+#include <ostream>
+
+#include "sim/device.hpp"
+#include "sim/json.hpp"
+#include "sim/metrics.hpp"
+
+namespace ms::sim {
+
+const char* to_string(SpanKind k) {
+  switch (k) {
+    case SpanKind::kRequest: return "request";
+    case SpanKind::kAttempt: return "attempt";
+    case SpanKind::kStage: return "stage";
+    case SpanKind::kLaunch: return "launch";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// SpanRecorder
+// ---------------------------------------------------------------------------
+
+u64 SpanRecorder::begin(SpanKind kind, std::string name, f64 now_ms,
+                        const SpanCounters& snap) {
+  SpanRecord r;
+  r.span_id = static_cast<u64>(spans_.size()) + 1;
+  r.parent_id = current_span();
+  r.trace_id = kind == SpanKind::kRequest ? ++next_trace_ : current_trace();
+  r.kind = kind;
+  r.name = std::move(name);
+  r.begin_ms = now_ms;
+  r.counters = snap;  // open snapshot; replaced by the delta at end()
+  spans_.push_back(std::move(r));
+  stack_.push_back(spans_.back().span_id);
+  host_begin_.push_back(std::chrono::steady_clock::now());
+  return spans_.back().span_id;
+}
+
+void SpanRecorder::end(u64 id, f64 now_ms, const SpanCounters& snap) {
+  check(!stack_.empty() && stack_.back() == id,
+        "span: end() out of nesting order");
+  SpanRecord& r = mut(id);
+  check(!r.closed, "span: closed twice");
+  r.end_ms = now_ms;
+  r.counters = snap - r.counters;
+  r.host_ms = std::chrono::duration<f64, std::milli>(
+                  std::chrono::steady_clock::now() - host_begin_.back())
+                  .count();
+  r.closed = true;
+  stack_.pop_back();
+  host_begin_.pop_back();
+}
+
+void SpanRecorder::event(SpanEvent ev) {
+  if (stack_.empty()) return;
+  mut(stack_.back()).events.push_back(std::move(ev));
+}
+
+void SpanRecorder::add_backoff(u64 id, f64 ms) { mut(id).backoff_ms += ms; }
+
+void SpanRecorder::set_overhead(u64 id, f64 ms) { mut(id).overhead_ms = ms; }
+
+u64 SpanRecorder::current_trace() const {
+  return stack_.empty() ? 0 : spans_[stack_.back() - 1].trace_id;
+}
+
+void SpanRecorder::clear() {
+  check(stack_.empty(), "span: clear() with open spans");
+  spans_.clear();
+  host_begin_.clear();
+  next_trace_ = 0;
+}
+
+// ---------------------------------------------------------------------------
+// SpanScope
+// ---------------------------------------------------------------------------
+
+SpanScope::SpanScope(Device& dev, SpanKind kind, std::string name)
+    : dev_(&dev) {
+  SpanRecorder* rec = dev.spans();
+  if (rec == nullptr) return;
+  if (kind != SpanKind::kRequest && !rec->in_request()) return;
+  id_ = dev.open_span(kind, std::move(name));
+}
+
+SpanScope::~SpanScope() { end(); }
+
+void SpanScope::end() {
+  if (id_ == 0) return;
+  dev_->close_span(id_);
+  id_ = 0;
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic JSONL dump
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void write_fault(JsonWriter& w, const FaultContext& f) {
+  w.begin_object();
+  w.field("kind", to_string(f.kind));
+  w.field("severity", f.severity == FaultSeverity::kError ? "error"
+                                                          : "warning");
+  w.field("kernel", f.kernel);
+  w.field("object", f.object);
+  w.field("index", f.index);
+  w.field("extent", f.extent);
+  w.field("detail", f.detail);
+  w.end_object();
+}
+
+}  // namespace
+
+void write_spans_jsonl(std::ostream& os, const SpanRecorder& rec,
+                       std::string_view source, std::string_view device_name) {
+  {
+    JsonWriter w(os);
+    w.begin_object();
+    w.field("spans", "trace");
+    w.field("schema_version", kReportSchemaVersion);
+    w.field("source", source);
+    w.field("device", device_name);
+    w.field("trace_count", rec.trace_count());
+    w.field("span_count", static_cast<u64>(rec.spans().size()));
+    w.end_object();
+  }
+  os << '\n';
+  for (const SpanRecord& r : rec.spans()) {
+    JsonWriter w(os);
+    w.begin_object();
+    w.field("span", r.span_id);
+    w.field("parent", r.parent_id);
+    w.field("trace", r.trace_id);
+    w.field("kind", to_string(r.kind));
+    w.field("name", r.name);
+    w.field("begin_ms", r.begin_ms);
+    w.field("end_ms", r.end_ms);
+    if (r.overhead_ms > 0.0) w.field("overhead_ms", r.overhead_ms);
+    if (r.backoff_ms > 0.0) w.field("backoff_ms", r.backoff_ms);
+    w.key("counters").begin_object();
+    w.field("launches", r.counters.launches);
+    w.field("l2_read_segments", r.counters.l2_read_segments);
+    w.field("dram_read_tx", r.counters.dram_read_tx);
+    w.field("alloc_count", r.counters.alloc_count);
+    w.field("alloc_reuse_hits", r.counters.alloc_reuse_hits);
+    w.end_object();
+    if (!r.events.empty()) {
+      w.key("events").begin_array();
+      for (const SpanEvent& e : r.events) {
+        w.begin_object();
+        w.field("t_ms", e.t_ms);
+        w.field("what", e.what);
+        if (!e.detail.empty()) w.field("detail", e.detail);
+        if (e.fault.has_value()) {
+          w.key("fault");
+          write_fault(w, *e.fault);
+        }
+        w.end_object();
+      }
+      w.end_array();
+    }
+    w.field("closed", r.closed);
+    w.end_object();
+    os << '\n';
+  }
+}
+
+bool write_spans_jsonl_file(const std::string& path, const SpanRecorder& rec,
+                            std::string_view source,
+                            std::string_view device_name) {
+  std::ofstream os(path);
+  if (!os) return false;
+  write_spans_jsonl(os, rec, source, device_name);
+  return os.good();
+}
+
+}  // namespace ms::sim

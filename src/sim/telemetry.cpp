@@ -16,8 +16,12 @@ namespace ms::sim {
 // LatencyHistogram
 // ---------------------------------------------------------------------------
 
-void LatencyHistogram::record_ticks(u64 ticks) {
-  buckets_[bucket_index(ticks)].fetch_add(1, std::memory_order_relaxed);
+void LatencyHistogram::record_ticks(u64 ticks, u64 exemplar_trace) {
+  const u32 idx = bucket_index(ticks);
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  if (exemplar_trace != 0) {
+    exemplars_[idx].store(exemplar_trace, std::memory_order_relaxed);
+  }
   count_.fetch_add(1, std::memory_order_relaxed);
   sum_.fetch_add(ticks, std::memory_order_relaxed);
   u64 lo = min_.load(std::memory_order_relaxed);
@@ -33,8 +37,10 @@ void LatencyHistogram::record_ticks(u64 ticks) {
 LatencyHistogram::Snapshot LatencyHistogram::snapshot() const {
   Snapshot s;
   s.buckets.resize(kBucketCount);
+  s.exemplars.resize(kBucketCount);
   for (u32 i = 0; i < kBucketCount; ++i) {
     s.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+    s.exemplars[i] = exemplars_[i].load(std::memory_order_relaxed);
     s.count += s.buckets[i];
   }
   // Derive count from the buckets so the snapshot is internally consistent
@@ -49,6 +55,15 @@ LatencyHistogram::Snapshot LatencyHistogram::snapshot() const {
 
 u64 LatencyHistogram::Snapshot::percentile_ticks(f64 p) const {
   if (count == 0) return 0;
+  const u32 b = percentile_bucket(p);
+  if (b >= buckets.size()) return max_ticks;
+  // Upper bound of the rank's bucket, clamped to the exact maximum so
+  // high percentiles never exceed an observed value.
+  return std::min(bucket_upper(b), max_ticks);
+}
+
+u32 LatencyHistogram::Snapshot::percentile_bucket(f64 p) const {
+  if (count == 0) return kBucketCount;
   const f64 clamped = std::min(100.0, std::max(0.0, p));
   u64 rank = static_cast<u64>(std::ceil(clamped / 100.0 *
                                         static_cast<f64>(count)));
@@ -56,13 +71,9 @@ u64 LatencyHistogram::Snapshot::percentile_ticks(f64 p) const {
   u64 cum = 0;
   for (u32 i = 0; i < buckets.size(); ++i) {
     cum += buckets[i];
-    if (cum >= rank) {
-      // Upper bound of the rank's bucket, clamped to the exact maximum so
-      // high percentiles never exceed an observed value.
-      return std::min(bucket_upper(i), max_ticks);
-    }
+    if (cum >= rank) return i;
   }
-  return max_ticks;
+  return kBucketCount;
 }
 
 // ---------------------------------------------------------------------------
@@ -163,6 +174,14 @@ void Telemetry::sample_now() {
     out.p95_ms = hs.percentile_ms(95.0);
     out.p99_ms = hs.percentile_ms(99.0);
     out.p999_ms = hs.percentile_ms(99.9);
+    out.p50_trace = hs.percentile_exemplar(50.0);
+    out.p95_trace = hs.percentile_exemplar(95.0);
+    out.p99_trace = hs.percentile_exemplar(99.0);
+    out.p999_trace = hs.percentile_exemplar(99.9);
+    if (hs.count > 0) {
+      const u32 mb = LatencyHistogram::bucket_index(hs.max_ticks);
+      out.max_trace = mb < hs.exemplars.size() ? hs.exemplars[mb] : 0;
+    }
     snap.histograms.push_back(std::move(out));
   }
 
@@ -182,13 +201,13 @@ TelemetryRequestScope::TelemetryRequestScope(Device& dev)
   if (t_ != nullptr) t0_ = std::chrono::steady_clock::now();
 }
 
-void TelemetryRequestScope::finish(f64 modeled_ms) {
+void TelemetryRequestScope::finish(f64 modeled_ms, u64 exemplar_trace) {
   if (t_ == nullptr) return;
   const f64 host_ms = std::chrono::duration<f64, std::milli>(
                           std::chrono::steady_clock::now() - t0_)
                           .count();
-  t_->histogram("request.host_ms").record_ms(host_ms);
-  t_->histogram("request.modeled_ms").record_ms(modeled_ms);
+  t_->histogram("request.host_ms").record_ms(host_ms, exemplar_trace);
+  t_->histogram("request.modeled_ms").record_ms(modeled_ms, exemplar_trace);
   t_->counter("requests").add(1);
   t_->tick();
 }
@@ -232,6 +251,13 @@ void write_timeline_jsonl(std::ostream& os, const Telemetry& t,
       w.field("p95_ms", h.p95_ms);
       w.field("p99_ms", h.p99_ms);
       w.field("p999_ms", h.p999_ms);
+      // Exemplar trace ids, only when a traced request landed in the
+      // percentile's bucket (keeps untraced timelines byte-stable).
+      if (h.p50_trace != 0) w.field("p50_trace", h.p50_trace);
+      if (h.p95_trace != 0) w.field("p95_trace", h.p95_trace);
+      if (h.p99_trace != 0) w.field("p99_trace", h.p99_trace);
+      if (h.p999_trace != 0) w.field("p999_trace", h.p999_trace);
+      if (h.max_trace != 0) w.field("max_trace", h.max_trace);
       w.end_object();
     }
     w.end_object();
@@ -290,11 +316,19 @@ void write_prometheus(std::ostream& os, const TelemetrySnapshot& snap) {
   }
   for (const HistogramSample& h : snap.histograms) {
     const std::string n = prom_name(h.name);
+    // OpenMetrics-style exemplar suffix linking the quantile's bucket to
+    // a concrete traced request (omitted when no trace landed there).
+    const auto ex = [](u64 trace) {
+      return trace != 0
+                 ? " # {trace_id=\"" + std::to_string(trace) + "\"}"
+                 : std::string();
+    };
     os << "# TYPE " << n << " summary\n";
-    os << n << "{quantile=\"0.5\"} " << h.p50_ms << '\n';
-    os << n << "{quantile=\"0.95\"} " << h.p95_ms << '\n';
-    os << n << "{quantile=\"0.99\"} " << h.p99_ms << '\n';
-    os << n << "{quantile=\"0.999\"} " << h.p999_ms << '\n';
+    os << n << "{quantile=\"0.5\"} " << h.p50_ms << ex(h.p50_trace) << '\n';
+    os << n << "{quantile=\"0.95\"} " << h.p95_ms << ex(h.p95_trace) << '\n';
+    os << n << "{quantile=\"0.99\"} " << h.p99_ms << ex(h.p99_trace) << '\n';
+    os << n << "{quantile=\"0.999\"} " << h.p999_ms << ex(h.p999_trace)
+       << '\n';
     os << n << "_sum " << h.sum_ms << '\n';
     os << n << "_count " << h.count << '\n';
   }

@@ -113,10 +113,15 @@ class LatencyHistogram {
     return bucket_lower(idx) + (u64{1} << (h - kSubBits)) - 1;
   }
 
-  void record_ticks(u64 ticks);
+  /// Record one observation.  A nonzero `exemplar_trace` (a span trace
+  /// id; they are 1-based, so 0 means "none") is stored as the bucket's
+  /// exemplar, last-write-wins -- linking the percentile a bucket feeds
+  /// back to one concrete traced request.
+  void record_ticks(u64 ticks, u64 exemplar_trace = 0);
   /// Convenience: milliseconds -> nanosecond ticks (rounded).
-  void record_ms(f64 ms) {
-    record_ticks(ms <= 0.0 ? 0 : static_cast<u64>(ms * 1e6 + 0.5));
+  void record_ms(f64 ms, u64 exemplar_trace = 0) {
+    record_ticks(ms <= 0.0 ? 0 : static_cast<u64>(ms * 1e6 + 0.5),
+                 exemplar_trace);
   }
 
   u64 count() const { return count_.load(std::memory_order_relaxed); }
@@ -128,7 +133,8 @@ class LatencyHistogram {
     u64 sum_ticks = 0;
     u64 min_ticks = 0;  // 0 when empty
     u64 max_ticks = 0;
-    std::vector<u64> buckets;  // kBucketCount entries
+    std::vector<u64> buckets;    // kBucketCount entries
+    std::vector<u64> exemplars;  // kBucketCount entries; 0 = none
 
     /// Value at percentile p (0..100]: the upper bound of the bucket
     /// containing rank ceil(p/100 * count), clamped to the recorded
@@ -136,6 +142,15 @@ class LatencyHistogram {
     u64 percentile_ticks(f64 p) const;
     f64 percentile_ms(f64 p) const {
       return static_cast<f64>(percentile_ticks(p)) / 1e6;
+    }
+    /// Index of the bucket holding percentile p's rank (kBucketCount when
+    /// the histogram is empty).
+    u32 percentile_bucket(f64 p) const;
+    /// Exemplar trace id of the percentile's bucket (0 when none was
+    /// recorded there, or when the histogram is empty).
+    u64 percentile_exemplar(f64 p) const {
+      const u32 b = percentile_bucket(p);
+      return b < exemplars.size() ? exemplars[b] : 0;
     }
   };
   Snapshot snapshot() const;
@@ -146,6 +161,11 @@ class LatencyHistogram {
   std::atomic<u64> min_{~u64{0}};
   std::atomic<u64> max_{0};
   std::array<std::atomic<u64>, kBucketCount> buckets_{};
+  /// Per-bucket exemplar trace id (0 = none), relaxed last-write-wins:
+  /// deterministic on the serial request path, best-effort under
+  /// concurrent recording -- exemplars are a debugging link, not a
+  /// compared metric.
+  std::array<std::atomic<u64>, kBucketCount> exemplars_{};
 };
 
 /// One sampled scalar (counter, gauge, or provider-computed value).
@@ -167,6 +187,13 @@ struct HistogramSample {
   f64 p95_ms = 0.0;
   f64 p99_ms = 0.0;
   f64 p999_ms = 0.0;
+  /// Exemplar trace ids of the buckets the percentiles (and max) fall
+  /// in; 0 = no traced request landed there (e.g. span tracing off).
+  u64 p50_trace = 0;
+  u64 p95_trace = 0;
+  u64 p99_trace = 0;
+  u64 p999_trace = 0;
+  u64 max_trace = 0;
 };
 
 /// One entry of the time-series ring.
@@ -242,7 +269,9 @@ class Device;
 class TelemetryRequestScope {
  public:
   explicit TelemetryRequestScope(Device& dev);
-  void finish(f64 modeled_ms);
+  /// `exemplar_trace`: the request's span trace id (0 = not traced),
+  /// attached to the latency samples as their histogram-bucket exemplar.
+  void finish(f64 modeled_ms, u64 exemplar_trace = 0);
 
  private:
   Telemetry* t_ = nullptr;

@@ -17,6 +17,7 @@ constexpr u32 kTidStages = 0;
 constexpr u32 kTidKernels = 1;
 constexpr u32 kTidMem = 2;
 constexpr u32 kTidIssue = 3;
+constexpr u32 kTidSpans = 4;
 
 void metadata_event(JsonWriter& w, const char* name, u32 tid,
                     const char* value) {
@@ -212,6 +213,80 @@ void write_chrome_trace(Device& dev, std::ostream& os) {
         w.field(series, s.value);
       }
       if (open) w.end_object().end_object();
+    }
+  }
+
+  // Request / attempt / stage / launch spans (sim/span.hpp) as nested
+  // slices on their own track, plotted on the same modeled timeline.
+  // Flow arrows connect each attempt span to its first kernel launch, so
+  // Perfetto draws the request -> kernel causality across tracks.
+  if (const SpanRecorder* rec = dev.spans();
+      rec != nullptr && !rec->spans().empty()) {
+    metadata_event(w, "thread_name", kTidSpans, "requests (spans)");
+    const auto& spans = rec->spans();
+    for (const SpanRecord& s : spans) {
+      if (!s.closed) continue;
+      const f64 ts = s.begin_ms * 1e3;
+      const std::string name =
+          std::string(to_string(s.kind)) + ":" + s.name;
+      // cat "span" (not the kind): the stage bands on tid 0 already use
+      // cat "stage", and the Perfetto lint keys span-track checks on the
+      // dedicated category.
+      slice_begin(w, name, "span", kTidSpans, ts,
+                  (s.end_ms - s.begin_ms) * 1e3);
+      w.key("args").begin_object();
+      w.field("trace", s.trace_id)
+          .field("span", s.span_id)
+          .field("parent", s.parent_id)
+          .field("launches", s.counters.launches)
+          .field("l2_read_segments", s.counters.l2_read_segments)
+          .field("dram_read_tx", s.counters.dram_read_tx)
+          .field("alloc_count", s.counters.alloc_count)
+          .field("alloc_reuse_hits", s.counters.alloc_reuse_hits);
+      if (s.backoff_ms > 0.0) w.field("backoff_ms", s.backoff_ms);
+      if (s.overhead_ms > 0.0) w.field("overhead_ms", s.overhead_ms);
+      if (!s.events.empty()) {
+        w.field("events", static_cast<u64>(s.events.size()));
+      }
+      w.end_object();  // args
+      w.end_object();  // span slice
+      // Flow start on the attempt, finish on its first descendant launch
+      // (launches usually nest under a stage span, not the attempt
+      // directly -- walk the parent chain).
+      if (s.kind == SpanKind::kAttempt) {
+        const auto descends_from = [&spans](const SpanRecord& c, u64 id) {
+          for (u64 p = c.parent_id; p != 0; p = spans[p - 1].parent_id) {
+            if (p == id) return true;
+          }
+          return false;
+        };
+        for (const SpanRecord& c : spans) {
+          if (c.kind != SpanKind::kLaunch || !c.closed ||
+              !descends_from(c, s.span_id)) {
+            continue;
+          }
+          w.begin_object()
+              .field("ph", "s")
+              .field("pid", u64{0})
+              .field("tid", static_cast<u64>(kTidSpans))
+              .field("name", "request flow")
+              .field("cat", "span")
+              .field("id", s.span_id)
+              .field("ts", ts)
+              .end_object();
+          w.begin_object()
+              .field("ph", "f")
+              .field("bp", "e")
+              .field("pid", u64{0})
+              .field("tid", static_cast<u64>(kTidSpans))
+              .field("name", "request flow")
+              .field("cat", "span")
+              .field("id", s.span_id)
+              .field("ts", c.begin_ms * 1e3)
+              .end_object();
+          break;
+        }
+      }
     }
   }
 

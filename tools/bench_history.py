@@ -27,10 +27,11 @@ from pathlib import Path
 # Must match kReportSchemaVersion (src/sim/metrics.hpp) and
 # check_bench.py's SCHEMA_VERSION.  History records are append-only, so
 # older stamps stay readable as long as the record fields are unchanged:
-# v6 only added the "resilience" block to metrics reports -- history rows
-# carry the same fields as v5.
-SCHEMA_VERSION = 6
-COMPATIBLE_VERSIONS = (5, 6)
+# v6 only added the "resilience" block to metrics reports and v7 only
+# touched span dumps / timeline exemplars -- history rows carry the same
+# fields as v5.
+SCHEMA_VERSION = 7
+COMPATIBLE_VERSIONS = (5, 6, 7)
 
 REQUIRED_FIELDS = (
     "history", "schema_version", "utc", "git_sha", "bench", "device",
@@ -128,6 +129,21 @@ def summarize_file(path):
               f"p50 {h['p50_ms']:.4f} p95 {h['p95_ms']:.4f} "
               f"p99 {h['p99_ms']:.4f} p99.9 {h['p999_ms']:.4f} "
               f"max {h['max_ms']:.4f} ms")
+
+    # Resilience digest (v7 records): first -> last delta of the executor
+    # accounting, so chaos-enabled history shows retry/fallback drift.
+    res_last = last.get("resilience")
+    if res_last:
+        res_first = first.get("resilience") or {}
+        parts = []
+        for k in ("retries", "fallbacks", "recovered", "lost"):
+            if k not in res_last:
+                continue
+            f_val, l_val = res_first.get(k), res_last[k]
+            parts.append(f"{k} {f_val} -> {l_val}" if f_val is not None
+                         and len(entries) > 1 else f"{k} {l_val}")
+        if parts:
+            print(f"  resilience: {', '.join(parts)}")
 
 
 def main():

@@ -49,7 +49,10 @@ from pathlib import Path
 # the resilient executor's retry/fallback/recovery accounting).  All zeros
 # in bench reports -- chaos is off there -- so the block never perturbs
 # comparisons at any tolerance.
-SCHEMA_VERSION = 6
+# v7: span dumps (--spans JSONL) carry the same stamp and telemetry
+# timelines gain optional exemplar trace-id fields; bench report fields are
+# unchanged, so comparisons are unaffected.
+SCHEMA_VERSION = 7
 
 # Per-site counters compared exactly under --sites.  Integer event counts:
 # any deviation is a real behavior change, never rounding.
@@ -202,6 +205,14 @@ def cmd_record(argv):
     }
     if latency is not None:
         entry["latency"] = latency
+    # Resilience digest (v7): the executor-side accounting worth trending.
+    # All zeros in ordinary bench runs (chaos is off), but history from
+    # chaos-enabled runs shows retry/fallback pressure over time.
+    res = report.get("resilience")
+    if res is not None:
+        entry["resilience"] = {k: res[k] for k in (
+            "requests", "faults_observed", "retries", "fallbacks",
+            "recovered", "lost") if k in res}
     for row in report["results"]:
         rec = {k: row[k] for k in ("method", "m", "key_value") if k in row}
         for k in ("method_selected", "rate_gkeys", "total_ms", "steady_ms",

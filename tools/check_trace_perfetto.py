@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Perfetto/Chrome-trace compatibility lint.
+
+Validates that a trace written by sim/trace.cpp loads cleanly in
+chrome://tracing / Perfetto and that the span track obeys the invariants
+the UI relies on:
+
+  - top level is an object with a traceEvents array (JSON Object Format);
+  - every event carries ph/pid/tid and numeric ts where applicable;
+  - complete events ("X") have dur >= 0;
+  - per-tid "X" slices nest strictly (a slice either contains another or
+    is disjoint from it -- partial overlap renders as garbage);
+  - metadata events ("M") carry args.name;
+  - flow events pair up: every flow start ("s") has a matching finish
+    ("f") with the same category and id, and finishes bind to an
+    enclosing slice ("bp": "e");
+  - span slices (cat "span" -- NOT the tid-0 stage bands, which reuse
+    cat "stage") are named "<kind>:<name>" for a known kind and carry
+    the trace/span/parent args the tail tooling echoes.
+
+Usage: check_trace_perfetto.py <trace.json> [--require-spans]
+With --require-spans the trace must contain at least one span slice.
+Exit 0 = compatible, 1 = violations found, 2 = unusable input.
+"""
+
+import json
+import sys
+from collections import defaultdict
+from pathlib import Path
+
+SPAN_KINDS = ("request", "attempt", "stage", "launch")
+
+
+def lint(doc, failures, require_spans=False):
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        failures.append("top level lacks a traceEvents array")
+        return
+    flow_starts = {}
+    flow_finishes = {}
+    slices_by_tid = defaultdict(list)
+    span_slices = 0
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            failures.append(f"{where}: not an object")
+            continue
+        ph = ev.get("ph")
+        if ph is None:
+            failures.append(f"{where}: missing ph")
+            continue
+        for key in ("pid", "tid"):
+            if not isinstance(ev.get(key), (int, float)):
+                failures.append(f"{where}: missing numeric {key}")
+        if ph in ("X", "C", "s", "f") and not isinstance(
+                ev.get("ts"), (int, float)):
+            failures.append(f"{where}: ph={ph} missing numeric ts")
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                failures.append(f"{where}: X slice with bad dur {dur!r}")
+            else:
+                slices_by_tid[ev.get("tid")].append((ev.get("ts"), dur,
+                                                     ev.get("name"), where))
+            if ev.get("cat") == "span":
+                span_slices += 1
+                name = ev.get("name", "")
+                if not any(name.startswith(k + ":") for k in SPAN_KINDS):
+                    failures.append(
+                        f"{where}: span slice named {name!r}, expected "
+                        f"'<kind>:...' with kind in {SPAN_KINDS}")
+                args = ev.get("args", {})
+                for key in ("trace", "span", "parent"):
+                    if key not in args:
+                        failures.append(
+                            f"{where}: span slice lacks args.{key}")
+        elif ph == "M":
+            if "name" not in ev.get("args", {}):
+                failures.append(f"{where}: metadata event lacks args.name")
+        elif ph == "s":
+            flow_starts[(ev.get("cat"), ev.get("id"))] = where
+        elif ph == "f":
+            flow_finishes[(ev.get("cat"), ev.get("id"))] = where
+            if ev.get("bp") != "e":
+                failures.append(
+                    f"{where}: flow finish without bp=e binds to the NEXT "
+                    f"slice, not the enclosing one")
+
+    for key, where in flow_starts.items():
+        if key not in flow_finishes:
+            failures.append(f"{where}: flow start {key} has no finish")
+    for key, where in flow_finishes.items():
+        if key not in flow_starts:
+            failures.append(f"{where}: flow finish {key} has no start")
+
+    if require_spans and span_slices == 0:
+        failures.append(
+            "trace has no span slices (cat \"span\") -- was the device's "
+            "span recorder enabled?")
+
+    # Strict nesting per tid: walk slices in (ts, -dur) order keeping a
+    # stack of open end times; a slice starting inside an open slice must
+    # also end inside it.
+    eps = 1e-9
+    for tid, slices in slices_by_tid.items():
+        slices.sort(key=lambda s: (s[0], -s[1]))
+        stack = []
+        for ts, dur, name, where in slices:
+            while stack and ts >= stack[-1] - eps:
+                stack.pop()
+            if stack and ts + dur > stack[-1] + eps:
+                failures.append(
+                    f"{where}: slice {name!r} (tid {tid}) partially "
+                    f"overlaps an earlier slice")
+                continue
+            stack.append(ts + dur)
+
+
+def main():
+    argv = [a for a in sys.argv[1:] if a != "--require-spans"]
+    require_spans = "--require-spans" in sys.argv[1:]
+    if len(argv) != 1:
+        print(__doc__, file=sys.stderr)
+        return 2
+    path = Path(argv[0])
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"FAIL: cannot load {path}: {e}")
+        return 2
+
+    failures = []
+    lint(doc, failures, require_spans=require_spans)
+    if failures:
+        print(f"FAIL: {path} has {len(failures)} Perfetto-compat "
+              f"violation(s):")
+        for f in failures[:40]:
+            print(f"  {f}")
+        return 1
+    n = len(doc.get("traceEvents", []))
+    print(f"OK: {path} is Perfetto-compatible ({n} events)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,6 +18,7 @@
 // `diff` compares two --json reports (from ms_cli or the benches)
 // value-by-value with exact matching by default; exit 0 = no drift,
 // 1 = drift found, 2 = unusable input (bad file / schema mismatch).
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -35,6 +36,7 @@
 #include "multisplit/sort_baselines.hpp"
 #include "sim/cost_model.hpp"
 #include "sim/metrics.hpp"
+#include "sim/span.hpp"
 #include "sim/telemetry.hpp"
 #include "workload/distributions.hpp"
 
@@ -83,6 +85,8 @@ void usage(const char* argv0) {
       "  --sanitize <tools>    memcheck,racecheck,initcheck (or all|none)\n"
       "  --json <file>         write a machine-readable report\n"
       "  --trace <file>        write a Chrome/Perfetto trace (single method)\n"
+      "  --spans <file>        write the request span dump (single method;\n"
+      "                        analyze with `ms_cli tail`)\n"
       "  --list                list methods and exit\n"
       "  --version             print the report schema version and exit\n"
       "subcommands:\n"
@@ -94,8 +98,12 @@ void usage(const char* argv0) {
       "  top <timeline.jsonl>  render the latest telemetry snapshot of a\n"
       "                        --telemetry timeline as Prometheus text\n"
       "                        (+ latency percentile table)\n"
+      "  tail <spans.jsonl> [--top N]\n"
+      "                        tail-latency attribution over a --spans dump:\n"
+      "                        p99 tail set, ranked per-category critical\n"
+      "                        path, slowest-N request trees\n"
       "  chaos [--requests N] [--n <log2>] [--m <buckets>] [--seed <u64>]\n"
-      "        [--chaos-seed <u64>]\n"
+      "        [--chaos-seed <u64>] [--spans <file>]\n"
       "                        run a deterministic fault-injection campaign\n"
       "                        over the resilient executor; exit 1 unless\n"
       "                        every injected fault was recovered or\n"
@@ -117,6 +125,7 @@ struct Args {
   std::string sanitize;
   std::string json_path;
   std::string trace_path;
+  std::string spans_path;
 };
 
 /// Runs one method; returns the number of sanitizer errors found.
@@ -134,6 +143,7 @@ u64 run_one(const Args& a, const std::string& name, split::Method method,
   if (a.device == "sol") prof = sim::DeviceProfile::speed_of_light();
   sim::Device dev(prof);
   if (scfg != nullptr) dev.sanitizer().configure(*scfg);
+  if (!a.spans_path.empty()) dev.enable_spans();
 
   sim::DeviceBuffer<u32> in(dev, std::span<const u32>(host), "in"),
       out(dev, n, "out");
@@ -241,6 +251,12 @@ u64 run_one(const Args& a, const std::string& name, split::Method method,
     if (!sim::write_chrome_trace_file(dev, a.trace_path))
       std::printf("warning: could not write trace to '%s'\n",
                   a.trace_path.c_str());
+  }
+  if (!a.spans_path.empty()) {
+    if (!sim::write_spans_jsonl_file(a.spans_path, *dev.spans(), "ms_cli",
+                                     dev.profile().name))
+      std::printf("warning: could not write spans to '%s'\n",
+                  a.spans_path.c_str());
   }
   if (dev.sanitizer().any()) {
     const std::string rep = dev.sanitizer().format_reports();
@@ -431,6 +447,17 @@ int cmd_top(int argc, char** argv) {
       out.p95_ms = h.at("p95_ms").number;
       out.p99_ms = h.at("p99_ms").number;
       out.p999_ms = h.at("p999_ms").number;
+      // Exemplar trace ids are only written when a traced request landed in
+      // the percentile's bucket -- optional on read too.
+      const auto trace = [&h](const char* key) -> u64 {
+        const sim::JsonValue* v = h.find(key);
+        return v != nullptr ? static_cast<u64>(v->number) : 0;
+      };
+      out.p50_trace = trace("p50_trace");
+      out.p95_trace = trace("p95_trace");
+      out.p99_trace = trace("p99_trace");
+      out.p999_trace = trace("p999_trace");
+      out.max_trace = trace("max_trace");
       snap.histograms.push_back(std::move(out));
     }
   } catch (const std::runtime_error& e) {
@@ -442,12 +469,294 @@ int cmd_top(int argc, char** argv) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// `ms_cli tail`: tail-latency attribution over a span dump
+// ---------------------------------------------------------------------------
+
+/// One span line of a --spans JSONL dump, reduced to what attribution needs.
+struct TailSpan {
+  u64 span = 0, parent = 0, trace = 0;
+  std::string kind, name;
+  f64 begin_ms = 0.0, end_ms = 0.0;
+  f64 overhead_ms = 0.0, backoff_ms = 0.0;
+  std::vector<std::string> events;  // "what" or "what detail" per event
+  bool closed = false;
+
+  f64 dur_ms() const { return end_ms - begin_ms; }
+};
+
+/// Per-request roll-up: total modeled latency and its category breakdown.
+struct TailRequest {
+  u64 trace = 0;
+  u64 root = 0;  // span_id of the request span
+  std::string method;
+  f64 total_ms = 0.0;       // (end - begin) + backoff
+  f64 attributed_ms = 0.0;  // sum over categories (== total by construction)
+  std::map<std::string, f64> by_category;
+};
+
+/// Loads a span dump; returns std::nullopt (with a printed diagnostic)
+/// when the file is missing, malformed or from another schema version.
+std::optional<std::vector<TailSpan>> load_span_dump(const char* path) {
+  std::ifstream is(path);
+  if (!is) {
+    std::printf("tail: cannot read '%s'\n", path);
+    return std::nullopt;
+  }
+  std::vector<TailSpan> spans;
+  std::string line;
+  bool saw_header = false;
+  u64 line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    try {
+      const sim::JsonValue v = sim::parse_json(line);
+      if (!saw_header) {
+        const sim::JsonValue* tag = v.find("spans");
+        if (tag == nullptr || tag->str != "trace") {
+          std::printf("tail: '%s' is not a span dump\n", path);
+          return std::nullopt;
+        }
+        const u32 ver = static_cast<u32>(v.at("schema_version").number);
+        if (ver != sim::kReportSchemaVersion) {
+          std::printf("tail: schema v%u, this tool expects v%u\n", ver,
+                      sim::kReportSchemaVersion);
+          return std::nullopt;
+        }
+        saw_header = true;
+        continue;
+      }
+      TailSpan s;
+      s.span = static_cast<u64>(v.at("span").number);
+      s.parent = static_cast<u64>(v.at("parent").number);
+      s.trace = static_cast<u64>(v.at("trace").number);
+      s.kind = v.at("kind").str;
+      s.name = v.at("name").str;
+      s.begin_ms = v.at("begin_ms").number;
+      s.end_ms = v.at("end_ms").number;
+      if (const auto* o = v.find("overhead_ms")) s.overhead_ms = o->number;
+      if (const auto* b = v.find("backoff_ms")) s.backoff_ms = b->number;
+      if (const auto* ev = v.find("events")) {
+        for (const sim::JsonValue& e : ev->array) {
+          std::string what = e.at("what").str;
+          if (const auto* d = e.find("detail"); d != nullptr && !d->str.empty())
+            what += " " + d->str;
+          if (const auto* f = e.find("fault")) {
+            what += " (" + f->at("kind").str + " in " + f->at("kernel").str +
+                    ")";
+          }
+          s.events.push_back(std::move(what));
+        }
+      }
+      s.closed = v.at("closed").boolean;
+      if (s.span != spans.size() + 1) {
+        std::printf("tail: non-contiguous span ids at line %llu\n",
+                    static_cast<unsigned long long>(line_no));
+        return std::nullopt;
+      }
+      spans.push_back(std::move(s));
+    } catch (const std::runtime_error& e) {
+      std::printf("tail: malformed line %llu: %s\n",
+                  static_cast<unsigned long long>(line_no), e.what());
+      return std::nullopt;
+    }
+  }
+  if (!saw_header) {
+    std::printf("tail: '%s' has no header line\n", path);
+    return std::nullopt;
+  }
+  return spans;
+}
+
+/// Critical-path attribution for one request: every modeled millisecond of
+/// the request lands in exactly one category.
+///
+/// The simulator's clock only advances inside kernels (launch spans), so a
+/// request decomposes exactly into its launch spans plus retry backoff:
+///   - per launch, the fixed launch overhead -> "launch overhead";
+///   - the remainder of the launch -> "stage:<innermost enclosing stage>"
+///     (or "unstaged kernel" for launches outside any ProfileRegion);
+///   - the request's accumulated retry backoff -> "retry backoff".
+/// Anything left over (zero by construction) is reported as "unattributed"
+/// so a broken dump is visible rather than silently renormalized.
+TailRequest attribute_request(const std::vector<TailSpan>& spans,
+                              const TailSpan& req) {
+  TailRequest out;
+  out.trace = req.trace;
+  out.root = req.span;
+  out.method = req.name;
+  out.total_ms = req.dur_ms() + req.backoff_ms;
+  if (req.backoff_ms > 0.0) {
+    out.by_category["retry backoff"] += req.backoff_ms;
+    out.attributed_ms += req.backoff_ms;
+  }
+  for (const TailSpan& s : spans) {
+    if (s.kind != "launch" || !s.closed || s.trace != req.trace) continue;
+    // Confirm the launch actually descends from this request span (trace
+    // ids are per-request in practice, but the parent chain is the truth).
+    bool under = false;
+    std::string stage = "unstaged kernel";
+    bool stage_found = false;
+    for (u64 p = s.parent; p != 0; p = spans[p - 1].parent) {
+      const TailSpan& a = spans[p - 1];
+      if (!stage_found && a.kind == "stage") {
+        stage = "stage:" + a.name;
+        stage_found = true;
+      }
+      if (p == req.span) {
+        under = true;
+        break;
+      }
+    }
+    if (!under) continue;
+    const f64 overhead = std::min(s.overhead_ms, s.dur_ms());
+    out.by_category["launch overhead"] += overhead;
+    out.by_category[stage] += s.dur_ms() - overhead;
+    out.attributed_ms += s.dur_ms();
+  }
+  const f64 leftover = out.total_ms - out.attributed_ms;
+  if (leftover > 1e-12 * std::max(1.0, out.total_ms)) {
+    out.by_category["unattributed"] += leftover;
+  }
+  return out;
+}
+
+/// Renders one request's span tree (the slowest-N drill-down).
+void print_span_tree(const std::vector<TailSpan>& spans, u64 root_span,
+                     u32 depth) {
+  const TailSpan& s = spans[root_span - 1];
+  std::printf("  %*s%s:%s  %.6f ms", static_cast<int>(depth * 2), "",
+              s.kind.c_str(), s.name.c_str(), s.dur_ms());
+  if (s.backoff_ms > 0.0) std::printf(" (+%.3f ms backoff)", s.backoff_ms);
+  std::printf("\n");
+  for (const std::string& ev : s.events) {
+    std::printf("  %*s! %s\n", static_cast<int>(depth * 2 + 2), "",
+                ev.c_str());
+  }
+  for (const TailSpan& c : spans) {
+    if (c.parent == root_span) print_span_tree(spans, c.span, depth + 1);
+  }
+}
+
+/// `ms_cli tail <spans.jsonl> [--top N]`: per-request critical-path roll-up
+/// of a span dump, the tail set (requests at or above the exact p99 total),
+/// the ranked category attribution over that tail, and the slowest N
+/// request trees.  Exit 0 = rendered, 2 = unusable input.
+int cmd_tail(int argc, char** argv) {
+  const char* path = nullptr;
+  u64 top_n = 5;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--top") && i + 1 < argc) {
+      top_n = std::stoull(argv[++i]);
+    } else if (argv[i][0] != '-' && path == nullptr) {
+      path = argv[i];
+    } else {
+      std::printf("usage: ms_cli tail <spans.jsonl> [--top N]\n");
+      return 2;
+    }
+  }
+  if (path == nullptr) {
+    std::printf("usage: ms_cli tail <spans.jsonl> [--top N]\n");
+    return 2;
+  }
+  const auto spans = load_span_dump(path);
+  if (!spans) return 2;
+
+  std::vector<TailRequest> reqs;
+  for (const TailSpan& s : *spans) {
+    if (s.kind == "request" && s.closed) {
+      reqs.push_back(attribute_request(*spans, s));
+    }
+  }
+  if (reqs.empty()) {
+    std::printf("tail: '%s' contains no closed request spans\n", path);
+    return 2;
+  }
+
+  // Exact p99 by nearest rank over the sorted totals; the tail set is
+  // every request at or above it.
+  std::vector<f64> totals;
+  totals.reserve(reqs.size());
+  for (const TailRequest& r : reqs) totals.push_back(r.total_ms);
+  std::sort(totals.begin(), totals.end());
+  const std::size_t rank =
+      (totals.size() * 99 + 99) / 100;  // ceil(0.99 * count), 1-based
+  const f64 p99 = totals[std::min(rank, totals.size()) - 1];
+
+  std::vector<const TailRequest*> tail;
+  for (const TailRequest& r : reqs) {
+    if (r.total_ms >= p99) tail.push_back(&r);
+  }
+  // Slowest first; trace id breaks ties so the listing is deterministic.
+  std::sort(tail.begin(), tail.end(),
+            [](const TailRequest* a, const TailRequest* b) {
+              if (a->total_ms != b->total_ms) return a->total_ms > b->total_ms;
+              return a->trace < b->trace;
+            });
+
+  std::printf("span dump: %s (%llu spans, %llu requests)\n", path,
+              static_cast<unsigned long long>(spans->size()),
+              static_cast<unsigned long long>(reqs.size()));
+  std::printf("p99 request latency: %.6f ms; tail set: %llu request(s)\n\n",
+              p99, static_cast<unsigned long long>(tail.size()));
+
+  // Ranked category table over the tail set.
+  std::map<std::string, f64> categories;
+  f64 tail_total = 0.0, tail_attributed = 0.0;
+  for (const TailRequest* r : tail) {
+    tail_total += r->total_ms;
+    tail_attributed += r->attributed_ms;
+    for (const auto& [cat, ms] : r->by_category) categories[cat] += ms;
+  }
+  std::vector<std::pair<std::string, f64>> ranked(categories.begin(),
+                                                  categories.end());
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  std::printf("tail-latency attribution (%llu request(s) >= p99)\n",
+              static_cast<unsigned long long>(tail.size()));
+  std::printf("  %-36s %12s %8s\n", "category", "ms", "share");
+  for (const auto& [cat, ms] : ranked) {
+    std::printf("  %-36s %12.6f %7.2f%%\n", cat.c_str(), ms,
+                tail_total > 0.0 ? 100.0 * ms / tail_total : 0.0);
+  }
+  std::printf("  %-36s %12.6f %7.2f%%\n", "total", tail_total,
+              tail_total > 0.0 ? 100.0 * tail_attributed / tail_total : 0.0);
+
+  // Slowest-N drill-down over ALL requests (the tail set only scopes the
+  // attribution table; --top can reach past it): full span tree with
+  // events.
+  std::vector<const TailRequest*> slowest;
+  for (const TailRequest& r : reqs) slowest.push_back(&r);
+  std::sort(slowest.begin(), slowest.end(),
+            [](const TailRequest* a, const TailRequest* b) {
+              if (a->total_ms != b->total_ms) return a->total_ms > b->total_ms;
+              return a->trace < b->trace;
+            });
+  const u64 shown = std::min<u64>(top_n, slowest.size());
+  std::printf("\nslowest %llu request(s)\n",
+              static_cast<unsigned long long>(shown));
+  for (u64 i = 0; i < shown; ++i) {
+    const TailRequest& r = *slowest[i];
+    std::printf("trace %llu  %s  total %.6f ms  (attributed %.2f%%)\n",
+                static_cast<unsigned long long>(r.trace), r.method.c_str(),
+                r.total_ms,
+                r.total_ms > 0.0 ? 100.0 * r.attributed_ms / r.total_ms
+                                 : 100.0);
+    print_span_tree(*spans, r.root, 0);
+  }
+  return 0;
+}
+
 /// `ms_cli chaos [...]`: run one seeded fault-injection campaign and print
 /// the recovery table.  Exit 0 = clean (every fault recovered or surfaced
 /// as a structured error), 1 = silent wrong results or lost requests,
 /// 2 = bad arguments.
 int cmd_chaos(int argc, char** argv) {
   split::ChaosCampaignConfig cfg;
+  std::string spans_path;
   for (int i = 1; i < argc; ++i) {
     const auto next = [&]() -> std::optional<std::string> {
       if (i + 1 >= argc) return std::nullopt;
@@ -467,18 +776,31 @@ int cmd_chaos(int argc, char** argv) {
       cfg.chaos.seed = std::stoull(*v, nullptr, 0);
     } else if (arg == "--device" && (v = next())) {
       cfg.profile = *v;
+    } else if (arg == "--spans" && (v = next())) {
+      spans_path = *v;
+      cfg.record_spans = true;
     } else {
       std::printf(
           "chaos: unknown or incomplete option '%s'\n"
           "usage: ms_cli chaos [--requests N] [--n <log2>] [--m <buckets>]\n"
           "                    [--seed <u64>] [--chaos-seed <u64>]\n"
-          "                    [--device k40c|750ti|sol]\n",
+          "                    [--device k40c|750ti|sol]\n"
+          "                    [--spans <file>]\n",
           arg.c_str());
       return 2;
     }
   }
   const split::ChaosCampaignReport rep = split::run_chaos_campaign(cfg);
   std::fputs(split::format_campaign(rep).c_str(), stdout);
+  if (!spans_path.empty()) {
+    std::ofstream os(spans_path);
+    if (!os) {
+      std::printf("chaos: cannot open '%s' for writing\n", spans_path.c_str());
+      return 2;
+    }
+    os << rep.spans_jsonl;
+    std::printf("spans: %s (feed to `ms_cli tail`)\n", spans_path.c_str());
+  }
   return rep.clean() ? 0 : 1;
 }
 
@@ -496,6 +818,9 @@ int main(int argc, char** argv) {
   if (argc > 1 && !std::strcmp(argv[1], "top")) {
     return cmd_top(argc - 1, argv + 1);
   }
+  if (argc > 1 && !std::strcmp(argv[1], "tail")) {
+    return cmd_tail(argc - 1, argv + 1);
+  }
   if (argc > 1 && !std::strcmp(argv[1], "chaos")) {
     return cmd_chaos(argc - 1, argv + 1);
   }
@@ -507,8 +832,8 @@ int main(int argc, char** argv) {
   } else if (argc > 1 && argv[1][0] != '-') {
     // A bare word that is not a known subcommand must not fall through to
     // flag parsing ("ms_cli metrcs" silently running the default method).
-    std::printf("unknown subcommand '%s' (expected chaos, diff, metrics or "
-                "top; try --help)\n",
+    std::printf("unknown subcommand '%s' (expected chaos, diff, metrics, "
+                "tail or top; try --help)\n",
                 argv[1]);
     return 2;
   }
@@ -535,6 +860,7 @@ int main(int argc, char** argv) {
     else if (!std::strncmp(argv[i], "--sanitize=", 11)) a.sanitize = argv[i] + 11;
     else if (!std::strcmp(argv[i], "--json")) a.json_path = next();
     else if (!std::strcmp(argv[i], "--trace")) a.trace_path = next();
+    else if (!std::strcmp(argv[i], "--spans")) a.spans_path = next();
     else if (!std::strcmp(argv[i], "--list")) {
       for (const auto meth : concrete_methods())
         std::printf("%-16s %s\n", split::method_token(meth).c_str(),
@@ -558,6 +884,10 @@ int main(int argc, char** argv) {
   }
   if (!a.trace_path.empty() && a.method == "all") {
     std::printf("--trace needs a single --method (one trace per device)\n");
+    return 1;
+  }
+  if (!a.spans_path.empty() && a.method == "all") {
+    std::printf("--spans needs a single --method (one dump per device)\n");
     return 1;
   }
   std::optional<sim::SanitizerConfig> scfg;

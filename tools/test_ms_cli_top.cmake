@@ -33,13 +33,17 @@ if(NOT top_rc EQUAL 0)
   message(FATAL_ERROR "ms_cli top exited ${top_rc}:\n${top_out}")
 endif()
 
-# The Prometheus rendering must expose the allocator/L2 gauges and the
-# request latency summary with percentile quantiles.
+# The Prometheus rendering must expose the allocator/L2 gauges, the
+# request latency summary with percentile quantiles, and the resilience
+# instruments (pre-registered by enable_telemetry, so they appear -- as
+# zeros -- even in fault-free runs).
 foreach(needle
     "ms_allocator_bytes_reserved"
     "ms_l2_read_hit_pct"
     "ms_request_modeled_ms"
-    "quantile=\"0.99\"")
+    "quantile=\"0.99\""
+    "ms_resilience_retries"
+    "ms_request_retry_ms")
   string(FIND "${top_out}" "${needle}" pos)
   if(pos EQUAL -1)
     message(FATAL_ERROR

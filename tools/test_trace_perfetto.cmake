@@ -1,0 +1,40 @@
+# CTest script for tool_trace_perfetto: produce a span-augmented Chrome
+# trace with `ms_cli --trace --spans`, then lint it for Perfetto
+# compatibility (event structure, slice nesting, flow pairing, span-track
+# naming).  Run via:
+#   cmake -DMS_CLI=... -DPYTHON=... -DLINT=... -DWORK_DIR=... \
+#         -P test_trace_perfetto.cmake
+
+foreach(var MS_CLI PYTHON LINT WORK_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "missing -D${var}=...")
+  endif()
+endforeach()
+
+set(trace "${WORK_DIR}/perfetto_span_trace.json")
+set(spans "${WORK_DIR}/perfetto_span_dump.jsonl")
+file(REMOVE "${trace}" "${spans}")
+
+execute_process(
+  COMMAND "${MS_CLI}" --method block --m 8 --n 12
+          --trace "${trace}" --spans "${spans}"
+  RESULT_VARIABLE run_rc
+  OUTPUT_QUIET)
+if(NOT run_rc EQUAL 0)
+  message(FATAL_ERROR "ms_cli --trace --spans exited ${run_rc}")
+endif()
+foreach(out "${trace}" "${spans}")
+  if(NOT EXISTS "${out}")
+    message(FATAL_ERROR "ms_cli did not write ${out}")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND "${PYTHON}" "${LINT}" "${trace}" --require-spans
+  RESULT_VARIABLE lint_rc
+  OUTPUT_VARIABLE lint_out)
+if(NOT lint_rc EQUAL 0)
+  message(FATAL_ERROR "Perfetto lint failed (${lint_rc}):\n${lint_out}")
+endif()
+
+message(STATUS "OK: span-augmented trace is Perfetto-compatible")
