@@ -341,6 +341,9 @@ class JsonReport {
     w_->field("bench", bench);
     w_->field("schema_version", sim::kReportSchemaVersion);
     w_->field("device", opt.profile().name);
+    // Additive, never compared by check_bench: records which host lane
+    // engine produced the run (modeled results are backend-invariant).
+    w_->field("host_simd", sim::simd::backend_name());
     w_->field("log2_n", opt.log2_n);
     w_->field("paper_log2_n", opt.paper_log2_n);
     w_->field("trials", opt.trials);

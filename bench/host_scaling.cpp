@@ -7,6 +7,10 @@
 // modeled results are bit-identical across rows by construction -- this
 // bench asserts that (total_ms must match the serial run exactly) so it
 // doubles as a determinism smoke test at scale.
+//
+// --json emits one result row per thread count (method "bms_t<k>") so
+// `check_bench.py record` can track host_keys_per_sec across PRs; the
+// modeled fields are identical in every row by the assertion above.
 #include <cstdio>
 #include <vector>
 
@@ -18,8 +22,10 @@ using namespace ms::bench;
 
 int main(int argc, char** argv) {
   Options opt = Options::parse(argc, argv, /*default_log2_n=*/24,
-                               /*paper_log2_n=*/25);
+                               /*paper_log2_n=*/25,
+                               /*machine_readable=*/true);
   opt.print_header("host scaling: simulator wall-clock vs worker threads");
+  JsonReport report(opt, "host_scaling");
 
   std::vector<u32> thread_counts = {1, 2, 4};
   const u32 hw = sim::ThreadPool::hardware_threads();
@@ -50,6 +56,23 @@ int main(int argc, char** argv) {
                 meas.host_keys_per_sec,
                 meas.host_ms > 0 ? serial_host_ms / meas.host_ms : 0.0,
                 meas.total_ms);
+    if (report.enabled()) {
+      auto& w = report.writer();
+      w.begin_object();
+      char method[32];
+      std::snprintf(method, sizeof method, "bms_t%u", threads);
+      w.field("method", method);  // identity key: one row per thread count
+      w.field("method_selected", split::method_token(meas.method_selected));
+      w.field("m", u32{32});
+      w.field("key_value", false);
+      w.field("threads", threads);
+      w.field("total_ms", meas.total_ms);
+      w.field("rate_gkeys", meas.rate_gkeys);
+      w.field("host_ms", meas.host_ms);
+      w.field("host_ms_min", meas.host_ms_min);
+      w.field("host_keys_per_sec", meas.host_keys_per_sec);
+      w.end_object();
+    }
   }
   sim::set_default_host_threads(0);
   return 0;

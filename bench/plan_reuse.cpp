@@ -36,6 +36,14 @@ struct ModeResult {
   f64 total_ms = 0.0;
   f64 l2_read_hit_pct = 0.0;
   f64 launch_overhead_pct = 0.0;
+  /// Host (simulator) wall-clock per iteration, never part of the modeled
+  /// results.  Iteration 0 is the warm-up (cold allocator, first-touch
+  /// pages) and is excluded, matching bench_common's Measurement contract;
+  /// host_keys_per_sec uses the min -- the stable statistic the bench
+  /// history tracks.
+  f64 host_ms = 0.0;            // mean over iterations 1..k
+  f64 host_ms_min = 0.0;        // fastest non-warm-up iteration
+  f64 host_keys_per_sec = 0.0;  // n / host_ms_min
   split::Method method_selected = split::Method::kAuto;
   sim::AllocatorStats alloc;
 };
@@ -76,6 +84,7 @@ ModeResult run_mode(const Options& opt, u32 m, bool pooled) {
   for (u32 it = 0; it < kIterations; ++it) {
     wc.seed = 0xABCDE + it * 7919;
     const auto host = workload::generate_keys(n, wc);
+    const auto host_t0 = std::chrono::steady_clock::now();
     split::MultisplitResult r;
     if (pooled) {
       std::copy(host.begin(), host.end(), in.host().begin());
@@ -86,15 +95,26 @@ ModeResult run_mode(const Options& opt, u32 m, bool pooled) {
       r = split::multisplit_keys(dev, fin, fout, m, split::RangeBucket{m},
                                  cfg);
     }
+    const auto host_t1 = std::chrono::steady_clock::now();
+    const f64 it_ms =
+        std::chrono::duration<f64, std::milli>(host_t1 - host_t0).count();
     res.method_selected = r.method_selected;
     res.total_ms += r.total_ms();
     if (it == 0) {
       res.first_ms = r.total_ms();
     } else {
       res.steady_ms += r.total_ms();
+      res.host_ms += it_ms;
+      res.host_ms_min =
+          res.host_ms_min > 0 ? std::min(res.host_ms_min, it_ms) : it_ms;
     }
   }
   res.steady_ms /= (kIterations - 1);
+  res.host_ms /= (kIterations - 1);
+  res.host_keys_per_sec =
+      res.host_ms_min > 0
+          ? static_cast<f64>(n) / (res.host_ms_min * 1e-3)
+          : 0.0;
   sim::MetricsReport mrep = sim::analyze_device(dev);
   res.l2_read_hit_pct = mrep.aggregate.l2_read_hit_pct;
   res.launch_overhead_pct = mrep.aggregate.launch_overhead_pct;
@@ -158,6 +178,9 @@ void write_row(JsonReport& report, const char* mode, u32 m,
   w.field("first_ms", r.first_ms);
   w.field("steady_ms", r.steady_ms);
   w.field("total_ms", r.total_ms);
+  w.field("host_ms", r.host_ms);
+  w.field("host_ms_min", r.host_ms_min);
+  w.field("host_keys_per_sec", r.host_keys_per_sec);
   w.field("l2_read_hit_pct", r.l2_read_hit_pct);
   w.field("launch_overhead_pct", r.launch_overhead_pct);
   w.key("allocator").begin_object();

@@ -25,6 +25,29 @@ inline LaneArray<u32> warp_histogram(Warp& w, const LaneArray<u32>& bucket_id,
                                      u32 m, LaneMask valid = kFullMask) {
   check(m >= 1 && m <= kWarpSize, "warp_histogram: m out of range");
   const u32 rounds = ceil_log2(m);
+  if (sim::simd::enabled()) {
+    // Fused fast path: all class bitmaps in one shot, then one bulk charge
+    // with the exact counter deltas of the reference loop below (r ballots,
+    // r select-mask slots, one popc).  M[c] equals the final histo_bmp of
+    // the lane responsible for class c, so lane i reads M[i & (2^r - 1)] --
+    // the same wrap-around the reference's (lane >> k) & 1 bit walk gives
+    // lanes past the last class.
+    u32 ballots[8];
+    sim::simd::bit_ballots(bucket_id.data(), rounds, valid, ballots);
+    alignas(32) u32 M[kWarpSize];
+    sim::simd::class_masks(rounds, ballots, valid, M);
+    const u64 pv = static_cast<u64>(std::popcount(valid));
+    w.charge_warp_op(/*issue_slots=*/2u * rounds + 1,
+                     /*ballot_rounds=*/rounds,
+                     /*simt_insts=*/rounds + 1,
+                     /*simt_active_lanes=*/u64{rounds} * pv + kWarpSize);
+    const u32 mb = (1u << rounds) - 1u;
+    LaneArray<u32> out;
+    for (u32 lane = 0; lane < kWarpSize; ++lane) {
+      out[lane] = static_cast<u32>(std::popcount(M[lane & mb]));
+    }
+    return out;
+  }
   // Each lane is responsible for the bucket with index == its lane ID.
   LaneArray<u32> histo_bmp = LaneArray<u32>::filled(valid);
   LaneArray<u32> bits = bucket_id;
@@ -49,6 +72,28 @@ inline LaneArray<u32> warp_offsets(Warp& w, const LaneArray<u32>& bucket_id,
                                    u32 m, LaneMask valid = kFullMask) {
   check(m >= 1 && m <= kWarpSize, "warp_offsets: m out of range");
   const u32 rounds = ceil_log2(m);
+  if (sim::simd::enabled()) {
+    // Fused fast path; lane i's final offset_bmp is the class bitmap of its
+    // own bucket's low r bits, so the rank is a popc over M masked to the
+    // lanes strictly below i.
+    u32 ballots[8];
+    sim::simd::bit_ballots(bucket_id.data(), rounds, valid, ballots);
+    alignas(32) u32 M[kWarpSize];
+    sim::simd::class_masks(rounds, ballots, valid, M);
+    const u64 pv = static_cast<u64>(std::popcount(valid));
+    w.charge_warp_op(/*issue_slots=*/2u * rounds + 2,
+                     /*ballot_rounds=*/rounds,
+                     /*simt_insts=*/rounds + 1,
+                     /*simt_active_lanes=*/u64{rounds} * pv + kWarpSize);
+    const u32 mb = (1u << rounds) - 1u;
+    LaneArray<u32> out;
+    for (u32 lane = 0; lane < kWarpSize; ++lane) {
+      const u32 below = (lane == 0) ? 0u : (kFullMask >> (kWarpSize - lane));
+      out[lane] =
+          static_cast<u32>(std::popcount(M[bucket_id[lane] & mb] & below));
+    }
+    return out;
+  }
   LaneArray<u32> offset_bmp = LaneArray<u32>::filled(valid);
   LaneArray<u32> bits = bucket_id;
   for (u32 k = 0; k < rounds; ++k) {
@@ -85,6 +130,29 @@ inline WarpRank warp_rank(Warp& w, const LaneArray<u32>& bucket_id, u32 m,
                           LaneMask valid = kFullMask) {
   check(m >= 1 && m <= kWarpSize, "warp_rank: m out of range");
   const u32 rounds = ceil_log2(m);
+  if (sim::simd::enabled()) {
+    // Fused fast path: one class-mask build serves both outputs (the merge
+    // the paper describes), charged as the reference loop's r ballots, 2r
+    // select-mask slots, and two popcs.
+    u32 ballots[8];
+    sim::simd::bit_ballots(bucket_id.data(), rounds, valid, ballots);
+    alignas(32) u32 M[kWarpSize];
+    sim::simd::class_masks(rounds, ballots, valid, M);
+    const u64 pv = static_cast<u64>(std::popcount(valid));
+    w.charge_warp_op(/*issue_slots=*/3u * rounds + 3,
+                     /*ballot_rounds=*/rounds,
+                     /*simt_insts=*/rounds + 2,
+                     /*simt_active_lanes=*/u64{rounds} * pv + 2 * kWarpSize);
+    const u32 mb = (1u << rounds) - 1u;
+    WarpRank r;
+    for (u32 lane = 0; lane < kWarpSize; ++lane) {
+      const u32 below = (lane == 0) ? 0u : (kFullMask >> (kWarpSize - lane));
+      r.histogram[lane] = static_cast<u32>(std::popcount(M[lane & mb]));
+      r.offsets[lane] =
+          static_cast<u32>(std::popcount(M[bucket_id[lane] & mb] & below));
+    }
+    return r;
+  }
   LaneArray<u32> histo_bmp = LaneArray<u32>::filled(valid);
   LaneArray<u32> offset_bmp = LaneArray<u32>::filled(valid);
   LaneArray<u32> bits = bucket_id;
@@ -121,6 +189,30 @@ inline std::vector<LaneArray<u32>> warp_histogram_multi(
     LaneMask valid = kFullMask) {
   const u32 groups = static_cast<u32>(ceil_div(m, kWarpSize));
   const u32 rounds = ceil_log2(m);
+  if (rounds <= 8 && sim::simd::enabled()) {
+    // Fused fast path for up to 256 classes (the stack bitmap's limit;
+    // larger m takes the reference loop).  Group g's lane i is responsible
+    // for bucket 32g + i, i.e. class (32g + i) & (2^r - 1).
+    u32 ballots[8];
+    sim::simd::bit_ballots(bucket_id.data(), rounds, valid, ballots);
+    alignas(32) u32 M[256];
+    sim::simd::class_masks(rounds, ballots, valid, M);
+    const u64 pv = static_cast<u64>(std::popcount(valid));
+    w.charge_warp_op(/*issue_slots=*/u64{rounds} * (groups + 2) + groups,
+                     /*ballot_rounds=*/rounds,
+                     /*simt_insts=*/u64{rounds} + groups,
+                     /*simt_active_lanes=*/u64{rounds} * pv +
+                         u64{kWarpSize} * groups);
+    const u32 mb = (1u << rounds) - 1u;
+    std::vector<LaneArray<u32>> histo(groups);
+    for (u32 g = 0; g < groups; ++g) {
+      for (u32 lane = 0; lane < kWarpSize; ++lane) {
+        histo[g][lane] = static_cast<u32>(
+            std::popcount(M[(g * kWarpSize + lane) & mb]));
+      }
+    }
+    return histo;
+  }
   std::vector<LaneArray<u32>> bmp(groups, LaneArray<u32>::filled(valid));
   LaneArray<u32> bits = bucket_id;
   for (u32 k = 0; k < rounds; ++k) {
@@ -149,6 +241,25 @@ inline LaneArray<u32> warp_offsets_multi(Warp& w,
                                          const LaneArray<u32>& bucket_id,
                                          u32 m, LaneMask valid = kFullMask) {
   const u32 rounds = ceil_log2(m);
+  if (rounds <= 8 && sim::simd::enabled()) {
+    u32 ballots[8];
+    sim::simd::bit_ballots(bucket_id.data(), rounds, valid, ballots);
+    alignas(32) u32 M[256];
+    sim::simd::class_masks(rounds, ballots, valid, M);
+    const u64 pv = static_cast<u64>(std::popcount(valid));
+    w.charge_warp_op(/*issue_slots=*/2u * rounds + 2,
+                     /*ballot_rounds=*/rounds,
+                     /*simt_insts=*/rounds + 1,
+                     /*simt_active_lanes=*/u64{rounds} * pv + kWarpSize);
+    const u32 mb = (1u << rounds) - 1u;
+    LaneArray<u32> out;
+    for (u32 lane = 0; lane < kWarpSize; ++lane) {
+      const u32 below = (lane == 0) ? 0u : (kFullMask >> (kWarpSize - lane));
+      out[lane] =
+          static_cast<u32>(std::popcount(M[bucket_id[lane] & mb] & below));
+    }
+    return out;
+  }
   LaneArray<u32> offset_bmp = LaneArray<u32>::filled(valid);
   LaneArray<u32> bits = bucket_id;
   for (u32 k = 0; k < rounds; ++k) {

@@ -366,6 +366,21 @@ template <typename T>
 inline u32 smem_conflict_degree(const SharedArray<T>& arr,
                                 const LaneArray<u32>& idx, LaneMask active) {
   if (active == 0) return 0;
+  if constexpr (sizeof(T) == 4) {
+    // Fast path for one-word elements: a single bank-occupancy bitmap
+    // detects the conflict-free case (every lane in its own bank) without
+    // building the per-bank word lists.  Any collision -- real conflict or
+    // broadcast -- falls through to the full scan, which tells them apart.
+    u32 occupied = 0;
+    bool clean = true;
+    for_each_lane(active, [&](u32 lane) {
+      const u32 word = arr.byte_offset() / 4 + idx[lane];
+      const u32 bank_bit = 1u << (word % kWarpSize);
+      clean &= (occupied & bank_bit) == 0;
+      occupied |= bank_bit;
+    });
+    if (clean) return 1;
+  }
   // words[b] collects the distinct word addresses lane accesses map to in
   // bank b.  sizeof(T) is 4 or 8 in this library; handle both by counting
   // each 4-byte word the lane touches.
@@ -397,6 +412,18 @@ LaneArray<T> Warp::smem_read(const SharedArray<T>& arr,
                              const LaneArray<u32>& idx, LaneMask active) {
   LaneArray<T> out{};
   if (active == 0) return out;
+  if (dev_->charging_off()) {
+    // Tape replay: the recorded shard carries the access/conflict
+    // accounting; only the data movement (and its safety check) remains.
+    for_each_lane(active, [&](u32 lane) {
+      if (idx[lane] >= arr.size_) {
+        smem_oob_fail(idx[lane], arr.size_, arr.object(), lane,
+                      "shared memory read");
+      }
+      out[lane] = arr.data()[idx[lane]];
+    });
+    return out;
+  }
   count_simt(active);
   dev_->events().smem_accesses += 1;
   dev_->events().smem_slots += detail::smem_conflict_degree(arr, idx, active);
@@ -422,6 +449,16 @@ template <typename T>
 void Warp::smem_write(SharedArray<T>& arr, const LaneArray<u32>& idx,
                       const LaneArray<T>& v, LaneMask active) {
   if (active == 0) return;
+  if (dev_->charging_off()) {
+    for_each_lane(active, [&](u32 lane) {
+      if (idx[lane] >= arr.size_) {
+        smem_oob_fail(idx[lane], arr.size_, arr.object(), lane,
+                      "shared memory write");
+      }
+      arr.data()[idx[lane]] = v[lane];
+    });
+    return;
+  }
   count_simt(active);
   dev_->events().smem_accesses += 1;
   dev_->events().smem_slots += detail::smem_conflict_degree(arr, idx, active);
@@ -448,6 +485,17 @@ LaneArray<T> Warp::smem_atomic_add(SharedArray<T>& arr,
                                    const LaneArray<T>& v, LaneMask active) {
   LaneArray<T> out{};
   if (active == 0) return out;
+  if (dev_->charging_off()) {
+    for_each_lane(active, [&](u32 lane) {
+      if (idx[lane] >= arr.size_) {
+        smem_oob_fail(idx[lane], arr.size_, arr.object(), lane,
+                      "shared memory atomic");
+      }
+      out[lane] = arr.data()[idx[lane]];
+      arr.data()[idx[lane]] += v[lane];
+    });
+    return out;
+  }
   count_simt(active);
   dev_->events().smem_accesses += 1;
   // Shared atomics serialize on address collisions.

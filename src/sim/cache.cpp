@@ -19,64 +19,6 @@ SectorCache::SectorCache(u32 capacity_bytes, u32 ways, u32 sector_bytes)
   lines_.assign(static_cast<std::size_t>(num_sets_) * ways_, Line{});
 }
 
-SectorCache::Line* SectorCache::find(u64 set, u64 tag) {
-  Line* base = &lines_[set * ways_];
-  for (u32 w = 0; w < ways_; ++w) {
-    if (base[w].tag == tag) return &base[w];
-  }
-  return nullptr;
-}
-
-SectorCache::Line* SectorCache::victim(u64 set) {
-  Line* base = &lines_[set * ways_];
-  Line* best = base;
-  for (u32 w = 1; w < ways_; ++w) {
-    if (base[w].tag == kInvalid) return &base[w];
-    if (base[w].lru < best->lru) best = &base[w];
-  }
-  return best;
-}
-
-SectorCache::AccessResult SectorCache::read(u64 sector) {
-  const u64 set = sector % num_sets_;
-  AccessResult r;
-  if (Line* line = find(set, sector)) {
-    r.hit = true;
-    line->lru = ++tick_;
-    return r;
-  }
-  Line* line = victim(set);
-  if (line->tag != kInvalid && line->dirty) {
-    r.dram_write_tx += 1;
-    note_writeback(line->tag);
-  }
-  line->tag = sector;
-  line->dirty = false;
-  line->lru = ++tick_;
-  r.dram_read_tx += 1;  // miss fill
-  return r;
-}
-
-SectorCache::AccessResult SectorCache::write(u64 sector) {
-  const u64 set = sector % num_sets_;
-  AccessResult r;
-  if (Line* line = find(set, sector)) {
-    r.hit = true;
-    line->dirty = true;
-    line->lru = ++tick_;
-    return r;
-  }
-  Line* line = victim(set);
-  if (line->tag != kInvalid && line->dirty) {
-    r.dram_write_tx += 1;
-    note_writeback(line->tag);
-  }
-  line->tag = sector;
-  line->dirty = true;  // allocate-without-fill: cost paid at writeback
-  line->lru = ++tick_;
-  return r;
-}
-
 u64 SectorCache::flush_dirty() {
   u64 writebacks = 0;
   for (Line& line : lines_) {

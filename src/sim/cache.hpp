@@ -33,13 +33,51 @@ class SectorCache {
   /// `capacity_bytes` / `sector_bytes` sectors arranged in `ways`-way sets.
   SectorCache(u32 capacity_bytes, u32 ways, u32 sector_bytes);
 
-  /// Read one sector (identified by a device-wide sector index).
-  AccessResult read(u64 sector);
+  /// Read one sector (identified by a device-wide sector index).  Defined
+  /// inline: every warp memory instruction funnels its sectors through here,
+  /// making this the single hottest call in the simulator.
+  AccessResult read(u64 sector) {
+    const u64 set = sector % num_sets_;
+    AccessResult r;
+    if (Line* line = find(set, sector)) {
+      r.hit = true;
+      line->lru = ++tick_;
+      return r;
+    }
+    Line* line = victim(set);
+    if (line->tag != kInvalid && line->dirty) {
+      r.dram_write_tx += 1;
+      note_writeback(line->tag);
+    }
+    line->tag = sector;
+    line->dirty = false;
+    line->lru = ++tick_;
+    r.dram_read_tx += 1;  // miss fill
+    return r;
+  }
 
   /// Write one sector.  Write misses allocate without a fill (the common
   /// GPU policy for full-sector streaming stores); the DRAM cost is paid at
   /// eviction/flush time as a writeback.
-  AccessResult write(u64 sector);
+  AccessResult write(u64 sector) {
+    const u64 set = sector % num_sets_;
+    AccessResult r;
+    if (Line* line = find(set, sector)) {
+      r.hit = true;
+      line->dirty = true;
+      line->lru = ++tick_;
+      return r;
+    }
+    Line* line = victim(set);
+    if (line->tag != kInvalid && line->dirty) {
+      r.dram_write_tx += 1;
+      note_writeback(line->tag);
+    }
+    line->tag = sector;
+    line->dirty = true;  // allocate-without-fill: cost paid at writeback
+    line->lru = ++tick_;
+    return r;
+  }
 
   /// Write back all dirty lines; returns the number of DRAM write
   /// transactions.  Called at the end of each kernel: a kernel's stores
@@ -61,6 +99,8 @@ class SectorCache {
   void set_chaos(ChaosEngine* chaos) { chaos_ = chaos; }
 
  private:
+  /// Out of line: needs the ChaosEngine definition, and only runs on dirty
+  /// evictions/flushes (off the resident-hit fast path).
   void note_writeback(u64 sector);
   struct Line {
     u64 tag = kInvalid;
@@ -69,8 +109,23 @@ class SectorCache {
   };
   static constexpr u64 kInvalid = ~u64{0};
 
-  Line* find(u64 set, u64 tag);
-  Line* victim(u64 set);
+  Line* find(u64 set, u64 tag) {
+    Line* base = &lines_[set * ways_];
+    for (u32 w = 0; w < ways_; ++w) {
+      if (base[w].tag == tag) return &base[w];
+    }
+    return nullptr;
+  }
+
+  Line* victim(u64 set) {
+    Line* base = &lines_[set * ways_];
+    Line* best = base;
+    for (u32 w = 1; w < ways_; ++w) {
+      if (base[w].tag == kInvalid) return &base[w];
+      if (base[w].lru < best->lru) best = &base[w];
+    }
+    return best;
+  }
 
   u32 ways_;
   u32 sector_bytes_;

@@ -1,0 +1,96 @@
+// Cost tape: recorded accounting streams for the trace-replay fast path.
+//
+// Many multisplit stages are *cost-uniform*: the addresses they touch, the
+// warp ops they issue and the shared-memory conflict patterns they produce
+// depend only on the launch shape (n, m, block count), never on key values.
+// The prescan histogram stage is the canonical example -- it reads the
+// input at unit stride and charges mask-only warp histograms regardless of
+// which buckets the keys land in.  For a reused MultisplitPlan those
+// stages re-derive the exact same accounting every run.
+//
+// The tape machinery exploits that: the first run *records* each
+// annotated launch's merged CounterShard stream (per-site counter slices,
+// peak shared memory and the RLE sector-touch stream -- the same
+// representation the parallel scheduler already uses), a second run
+// *verifies* the recording byte-for-byte, and later runs *replay* it:
+// the launch body still executes for its data effects (with charging
+// suppressed), and the taped shards are merged through the live L2 in the
+// original order.  Because Device::merge_shard replaying a shard is
+// bit-identical to executing it serially (the PR-4 determinism argument),
+// replayed runs produce bit-identical modeled costs, per-site
+// attribution, cache evolution and DRAM traffic.
+//
+// Anything that could invalidate the recording -- a different buffer
+// placement, an unexpected launch name, a sanitizer report, a fault, a
+// thrown exception -- flips `tape_ok` and the run conservatively falls
+// back to live accounting mid-flight (every launch is self-contained, so
+// a partial replay followed by live execution is still exact).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/shard.hpp"
+#include "sim/types.hpp"
+
+namespace ms::sim {
+
+/// What the device does with the active cost tape.
+enum class TapeMode : u8 {
+  kOff,     ///< no tape attached (normal execution)
+  kRecord,  ///< live accounting, with annotated launches appended to the tape
+  kReplay,  ///< annotated launches merge taped shards instead of charging
+};
+
+/// One recorded launch: the kernel name (validated on replay) and the
+/// merged shard stream.  Serial recordings hold one shard for the whole
+/// launch; parallel recordings hold one shard per scheduled item, in
+/// ascending item order (the merge order either way).
+struct LaunchTape {
+  std::string name;
+  std::vector<CounterShard> shards;
+};
+
+/// A full recording of one plan run: every annotated launch in issue
+/// order, plus the base address of every device allocation made during
+/// the run (scratch placement must match for the sector streams to be
+/// valid on replay).
+struct CostTape {
+  std::vector<LaunchTape> launches;
+  std::vector<u64> allocs;
+
+  void clear() {
+    launches.clear();
+    allocs.clear();
+  }
+};
+
+/// Cost-relevant equality of two shards: the counter totals, the per-site
+/// slices, the peak shared-memory footprint and the sector-touch stream.
+/// (Faulted/reporting shards are never taped, so those fields need no
+/// comparison.)
+inline bool shards_cost_equal(const CounterShard& a, const CounterShard& b) {
+  return a.events == b.events && a.sites == b.sites &&
+         a.peak_smem == b.peak_smem && a.sector_ops == b.sector_ops;
+}
+
+/// True when two recordings are byte-for-byte interchangeable: same
+/// launches, same shard streams, same allocation placement.  The
+/// record-then-verify handshake uses this to *prove* a plan's annotated
+/// stages are input-independent before ever replaying.
+inline bool tapes_equal(const CostTape& a, const CostTape& b) {
+  if (a.allocs != b.allocs) return false;
+  if (a.launches.size() != b.launches.size()) return false;
+  for (std::size_t i = 0; i < a.launches.size(); ++i) {
+    const LaunchTape& la = a.launches[i];
+    const LaunchTape& lb = b.launches[i];
+    if (la.name != lb.name) return false;
+    if (la.shards.size() != lb.shards.size()) return false;
+    for (std::size_t s = 0; s < la.shards.size(); ++s) {
+      if (!shards_cost_equal(la.shards[s], lb.shards[s])) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace ms::sim

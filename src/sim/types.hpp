@@ -65,6 +65,12 @@ class LaneArray {
   constexpr T& operator[](u32 lane) { return v_[lane]; }
   constexpr const T& operator[](u32 lane) const { return v_[lane]; }
 
+  /// Contiguous lane storage, for the host-SIMD lane engine (sim/simd.hpp)
+  /// and bulk copies.  Lane i is element i; the storage is 32-byte aligned
+  /// so a warp register loads as whole host vector registers.
+  constexpr T* data() { return v_.data(); }
+  constexpr const T* data() const { return v_.data(); }
+
   /// Elementwise transform; `f` is applied per active lane in lane order.
   template <typename F>
   constexpr auto map(F&& f) const {
@@ -89,7 +95,7 @@ class LaneArray {
   }
 
  private:
-  std::array<T, kWarpSize> v_;
+  alignas(32) std::array<T, kWarpSize> v_;
 };
 
 /// Iterate over the set bits of a lane mask (ascending lane order).

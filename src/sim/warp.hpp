@@ -22,8 +22,10 @@
 #include <array>
 #include <atomic>
 #include <bit>
+#include <cstring>
 
 #include "sim/memory.hpp"
+#include "sim/simd.hpp"
 #include "sim/types.hpp"
 
 namespace ms::sim {
@@ -54,6 +56,21 @@ class Warp {
   /// are the divergence-visible instruction stream.
   void charge(u64 slots) { dev_->events().issue_slots += slots; }
 
+  /// Bulk charge for a fused warp-level primitive (primitives/warp_ops.hpp,
+  /// primitives/warp_scan.hpp): the exact counter deltas the unfused
+  /// instruction sequence would have accumulated, applied in one shot.  The
+  /// fused fast paths are only bit-identical to their reference loops
+  /// because these deltas follow the closed forms derived from them --
+  /// change a reference implementation and the formula must change with it.
+  void charge_warp_op(u64 issue_slots, u64 ballot_rounds, u64 simt_insts,
+                      u64 simt_active_lanes) {
+    auto& ev = dev_->events();
+    ev.issue_slots += issue_slots;
+    ev.ballot_rounds += ballot_rounds;
+    ev.simt_insts += simt_insts;
+    ev.simt_active_lanes += simt_active_lanes;
+  }
+
   // ---------------------------------------------------------------- ballot
   /// CUDA __ballot: bit i of the result is pred[i] != 0 for active lanes;
   /// inactive lanes contribute 0.
@@ -61,6 +78,7 @@ class Warp {
     dev_->events().issue_slots += 1;
     dev_->events().ballot_rounds += 1;
     count_simt(active);
+    if (simd::enabled()) return simd::ballot(pred.data(), active);
     LaneMask out = 0;
     for_each_lane(active, [&](u32 lane) {
       if (pred[lane] != 0) out |= (1u << lane);
@@ -72,6 +90,7 @@ class Warp {
   bool any(const LaneArray<u32>& pred, LaneMask active = kFullMask) {
     dev_->events().issue_slots += 1;
     count_simt(active);
+    if (simd::enabled()) return (simd::nonzero_mask(pred.data()) & active) != 0;
     bool out = false;
     for_each_lane(active, [&](u32 lane) { out |= (pred[lane] != 0); });
     return out;
@@ -81,6 +100,9 @@ class Warp {
   bool all(const LaneArray<u32>& pred, LaneMask active = kFullMask) {
     dev_->events().issue_slots += 1;
     count_simt(active);
+    if (simd::enabled()) {
+      return (simd::nonzero_mask(pred.data()) & active) == active;
+    }
     bool out = true;
     for_each_lane(active, [&](u32 lane) { out &= (pred[lane] != 0); });
     return out;
@@ -164,8 +186,29 @@ class Warp {
                     LaneMask active = kFullMask) {
     LaneArray<T> out{};
     if (active == 0) return out;
+    if (dev_->charging_off()) {
+      // Tape replay: the recorded shard carries this load's accounting;
+      // only the data movement (and its safety check) remains.
+      if (active == kFullMask && base + kWarpSize <= buf.size()) {
+        std::memcpy(out.data(), buf.raw_data() + base, kWarpSize * sizeof(T));
+        return out;
+      }
+      for_each_lane(active, [&](u32 lane) {
+        bounds_check(buf, base + lane, lane, "unit-stride load");
+        out[lane] = buf.raw_data()[base + lane];
+      });
+      return out;
+    }
     count_simt(active);
     charge_contiguous</*is_write=*/false, T>(buf, base, active);
+    if (active == kFullMask && base + kWarpSize <= buf.size() &&
+        buf.init_shadow() == nullptr) [[likely]] {
+      // Full warp, in bounds, no initcheck shadow: one bulk copy replaces
+      // 32 per-lane bounds/shadow checks.  Fault behavior is unchanged --
+      // an OOB access always falls through to the checking loop below.
+      std::memcpy(out.data(), buf.raw_data() + base, kWarpSize * sizeof(T));
+      return out;
+    }
     for_each_lane(active, [&](u32 lane) {
       bounds_check(buf, base + lane, lane, "unit-stride load");
       init_check_read(buf, base + lane, lane);
@@ -179,9 +222,25 @@ class Warp {
   void store(DeviceBuffer<T>& buf, u64 base, const LaneArray<T>& v,
              LaneMask active = kFullMask) {
     if (active == 0) return;
+    if (dev_->charging_off()) {
+      if (active == kFullMask && base + kWarpSize <= buf.size()) {
+        std::memcpy(buf.raw_data() + base, v.data(), kWarpSize * sizeof(T));
+        return;
+      }
+      for_each_lane(active, [&](u32 lane) {
+        bounds_check(buf, base + lane, lane, "unit-stride store");
+        buf.raw_data()[base + lane] = v[lane];
+      });
+      return;
+    }
     count_simt(active);
     charge_contiguous</*is_write=*/true, T>(buf, base, active);
     GlobalShadow* sh = buf.init_shadow();
+    if (sh == nullptr && active == kFullMask &&
+        base + kWarpSize <= buf.size()) [[likely]] {
+      std::memcpy(buf.raw_data() + base, v.data(), kWarpSize * sizeof(T));
+      return;
+    }
     for_each_lane(active, [&](u32 lane) {
       bounds_check(buf, base + lane, lane, "unit-stride store");
       if (sh != nullptr) mark_valid(*sh, base + lane);
@@ -195,6 +254,13 @@ class Warp {
                       LaneMask active = kFullMask) {
     LaneArray<T> out{};
     if (active == 0) return out;
+    if (dev_->charging_off()) {
+      for_each_lane(active, [&](u32 lane) {
+        bounds_check(buf, idx[lane], lane, "gather");
+        out[lane] = buf.raw_data()[idx[lane]];
+      });
+      return out;
+    }
     count_simt(active);
     charge_scattered</*is_write=*/false, T>(buf, idx, active);
     for_each_lane(active, [&](u32 lane) {
@@ -210,6 +276,13 @@ class Warp {
   void scatter(DeviceBuffer<T>& buf, const LaneArray<u64>& idx,
                const LaneArray<T>& v, LaneMask active = kFullMask) {
     if (active == 0) return;
+    if (dev_->charging_off()) {
+      for_each_lane(active, [&](u32 lane) {
+        bounds_check(buf, idx[lane], lane, "scatter");
+        buf.raw_data()[idx[lane]] = v[lane];
+      });
+      return;
+    }
     count_simt(active);
     charge_scattered</*is_write=*/true, T>(buf, idx, active);
     GlobalShadow* sh = buf.init_shadow();
@@ -228,6 +301,15 @@ class Warp {
                           const LaneArray<T>& v, LaneMask active = kFullMask) {
     LaneArray<T> out{};
     if (active == 0) return out;
+    if (dev_->charging_off()) {
+      for_each_lane(active, [&](u32 lane) {
+        bounds_check(buf, idx[lane], lane, "atomicAdd");
+        out[lane] = atomic_rmw(buf.raw_data()[idx[lane]], [&](T old) {
+          return static_cast<T>(old + v[lane]);
+        });
+      });
+      return out;
+    }
     dev_->global_atomic_fence();
     count_simt(active);
     charge_scattered</*is_write=*/true, T>(buf, idx, active);
@@ -266,6 +348,14 @@ class Warp {
                           const LaneArray<T>& v, LaneMask active = kFullMask) {
     LaneArray<T> out{};
     if (active == 0) return out;
+    if (dev_->charging_off()) {
+      for_each_lane(active, [&](u32 lane) {
+        bounds_check(buf, idx[lane], lane, "atomicMin");
+        out[lane] = atomic_rmw(buf.raw_data()[idx[lane]],
+                               [&](T old) { return std::min(old, v[lane]); });
+      });
+      return out;
+    }
     dev_->global_atomic_fence();
     count_simt(active);
     charge_scattered</*is_write=*/true, T>(buf, idx, active);
@@ -462,9 +552,13 @@ class Warp {
   void charge_scattered(const DeviceBuffer<T>& buf, const LaneArray<u64>& idx,
                         LaneMask active) {
     const u32 tx = dev_->profile().transaction_bytes;
-    // Lane-order run decomposition for the issue cost.
+    // One pass computes both costs: the lane-order run decomposition for
+    // the issue side and the sector list for the DRAM/L2 side.
     u32 lines = 0;
     u64 run_start = 0, prev_end = ~u64{0};
+    std::array<u64, 2 * kWarpSize> sectors{};
+    u32 n = 0;
+    bool presorted = true;
     for_each_lane(active, [&](u32 lane) {
       const u64 a = buf.address_of(idx[lane]);
       if (a != prev_end) {
@@ -475,23 +569,19 @@ class Warp {
         run_start = a;
       }
       prev_end = a + sizeof(T);
+      const u64 s0 = a / tx;
+      const u64 s1 = (a + sizeof(T) - 1) / tx;
+      if (n > 0 && s0 < sectors[n - 1]) presorted = false;
+      sectors[n++] = s0;
+      if (s1 != s0) sectors[n++] = s1;
     });
     if (prev_end != ~u64{0}) {
       lines += static_cast<u32>((prev_end - 1) / kLineBytes -
                                 run_start / kLineBytes + 1);
     }
-
-    // Distinct-sector accounting for the DRAM/L2 side.
-    std::array<u64, 2 * kWarpSize> sectors{};
-    u32 n = 0;
-    for_each_lane(active, [&](u32 lane) {
-      const u64 a = buf.address_of(idx[lane]);
-      const u64 s0 = a / tx;
-      const u64 s1 = (a + sizeof(T) - 1) / tx;
-      sectors[n++] = s0;
-      if (s1 != s0) sectors[n++] = s1;
-    });
-    std::sort(sectors.begin(), sectors.begin() + n);
+    // Distinct ascending sectors; lane addresses are usually already
+    // monotone (bucket-major scatters), so the sort is rarely needed.
+    if (!presorted) std::sort(sectors.begin(), sectors.begin() + n);
     const u32 segments =
         static_cast<u32>(std::unique(sectors.begin(), sectors.begin() + n) -
                          sectors.begin());

@@ -1,7 +1,13 @@
 // Unit tests for the fundamental simulator types: LaneArray, lane masks,
-// and the small integer helpers everything else leans on.
+// and the small integer helpers everything else leans on -- plus the
+// randomized property tests pinning the SIMD lane engine (sim/simd.hpp)
+// to its scalar reference loops bit for bit.
 #include <gtest/gtest.h>
 
+#include <random>
+
+#include "primitives/warp_ops.hpp"
+#include "sim/simd.hpp"
 #include "sim/types.hpp"
 
 namespace ms {
@@ -92,6 +98,168 @@ TEST(IntHelpers, CheckThrowsWithMessage) {
     EXPECT_NE(std::string(e.what()).find("specific message"),
               std::string::npos);
   }
+}
+
+// ---------------------------------------------------------------------------
+// SIMD lane engine: every vector kernel against its scalar reference loop.
+// The simd:: entry points compile to the widest available backend
+// unconditionally (callers gate on simd::enabled()), so these tests
+// exercise the vector code directly -- in an MS_SIMD=off build they
+// degenerate into scalar-vs-scalar and stay green by construction.
+// ---------------------------------------------------------------------------
+
+// The mask shapes most likely to break lane<->bit plumbing: empty, lane 0
+// only, lane 31 only (sign-bit handling in movemask-style extractions),
+// both alternating phases, and full.
+constexpr LaneMask kEdgeMasks[] = {0x0u,        0x1u,        0x80000000u,
+                                   0xAAAAAAAAu, 0x55555555u, kFullMask};
+
+u32 ref_nonzero_mask(const u32* v) {
+  u32 out = 0;
+  for (u32 i = 0; i < kWarpSize; ++i) out |= (v[i] != 0 ? 1u : 0u) << i;
+  return out;
+}
+
+void ref_bit_ballots(const u32* bucket, u32 rounds, LaneMask valid,
+                     u32* ballots) {
+  for (u32 k = 0; k < rounds; ++k) {
+    u32 mask = 0;
+    for (u32 i = 0; i < kWarpSize; ++i) mask |= ((bucket[i] >> k) & 1u) << i;
+    ballots[k] = mask & valid;
+  }
+}
+
+void ref_class_masks(u32 rounds, const u32* ballots, LaneMask valid, u32* M) {
+  const u32 classes = 1u << rounds;
+  for (u32 c = 0; c < classes; ++c) M[c] = valid;
+  for (u32 k = 0; k < rounds; ++k) {
+    const u32 b = ballots[k];
+    for (u32 c = 0; c < classes; ++c) M[c] &= b ^ (((c >> k) & 1u) - 1u);
+  }
+}
+
+TEST(SimdLaneEngine, NonzeroMaskMatchesReference) {
+  std::mt19937 rng(2016);
+  for (int trial = 0; trial < 2000; ++trial) {
+    LaneArray<u32> v;
+    for (u32 i = 0; i < kWarpSize; ++i) {
+      // Mix zeros, small values, and sign-bit-heavy values: movemask-based
+      // backends must classify 0x80000000 as nonzero like any other word.
+      switch (rng() % 4) {
+        case 0: v[i] = 0; break;
+        case 1: v[i] = 1 + rng() % 7; break;
+        case 2: v[i] = 0x80000000u; break;
+        default: v[i] = rng(); break;
+      }
+    }
+    ASSERT_EQ(sim::simd::nonzero_mask(v.data()), ref_nonzero_mask(v.data()));
+  }
+  // Single-lane patterns: exactly one nonzero lane at each position.
+  for (u32 lane = 0; lane < kWarpSize; ++lane) {
+    LaneArray<u32> v{};
+    v[lane] = 0x80000000u;
+    ASSERT_EQ(sim::simd::nonzero_mask(v.data()), 1u << lane) << "lane " << lane;
+  }
+}
+
+TEST(SimdLaneEngine, BallotMatchesReferenceUnderEdgeMasks) {
+  std::mt19937 rng(31337);
+  for (int trial = 0; trial < 500; ++trial) {
+    LaneArray<u32> pred;
+    for (u32 i = 0; i < kWarpSize; ++i) pred[i] = rng() & 1u ? rng() | 1u : 0u;
+    for (LaneMask active : kEdgeMasks) {
+      ASSERT_EQ(sim::simd::ballot(pred.data(), active),
+                ref_nonzero_mask(pred.data()) & active);
+    }
+    const LaneMask random_mask = rng();
+    ASSERT_EQ(sim::simd::ballot(pred.data(), random_mask),
+              ref_nonzero_mask(pred.data()) & random_mask);
+  }
+}
+
+TEST(SimdLaneEngine, BitBallotsMatchesReferenceForAllRounds) {
+  std::mt19937 rng(4242);
+  for (u32 rounds = 1; rounds <= 8; ++rounds) {
+    for (int trial = 0; trial < 200; ++trial) {
+      LaneArray<u32> bucket;
+      for (u32 i = 0; i < kWarpSize; ++i) bucket[i] = rng() % (1u << rounds);
+      const LaneMask valid =
+          trial < 6 ? kEdgeMasks[trial] : static_cast<LaneMask>(rng());
+      u32 got[8], want[8];
+      sim::simd::bit_ballots(bucket.data(), rounds, valid, got);
+      ref_bit_ballots(bucket.data(), rounds, valid, want);
+      for (u32 k = 0; k < rounds; ++k) {
+        ASSERT_EQ(got[k], want[k]) << "rounds=" << rounds << " k=" << k;
+      }
+    }
+  }
+}
+
+TEST(SimdLaneEngine, ClassMasksMatchReferenceAndPartitionValid) {
+  std::mt19937 rng(99173);
+  for (u32 rounds = 1; rounds <= 8; ++rounds) {
+    const u32 classes = 1u << rounds;
+    for (int trial = 0; trial < 100; ++trial) {
+      LaneArray<u32> bucket;
+      for (u32 i = 0; i < kWarpSize; ++i) bucket[i] = rng() % classes;
+      const LaneMask valid =
+          trial < 6 ? kEdgeMasks[trial] : static_cast<LaneMask>(rng());
+      u32 ballots[8];
+      sim::simd::bit_ballots(bucket.data(), rounds, valid, ballots);
+      std::vector<u32> got(classes), want(classes);
+      sim::simd::class_masks(rounds, ballots, valid, got.data());
+      ref_class_masks(rounds, ballots, valid, want.data());
+      LaneMask unioned = 0;
+      for (u32 c = 0; c < classes; ++c) {
+        ASSERT_EQ(got[c], want[c]) << "rounds=" << rounds << " class " << c;
+        // Partition property: class masks are pairwise disjoint...
+        ASSERT_EQ(unioned & got[c], 0u) << "overlap at class " << c;
+        unioned |= got[c];
+        // ...and each valid lane lands in exactly the class of its bucket.
+        for_each_lane(got[c], [&](u32 lane) {
+          ASSERT_EQ(bucket[lane] & (classes - 1), c) << "lane " << lane;
+        });
+      }
+      ASSERT_EQ(unioned, valid) << "union must cover exactly the valid lanes";
+    }
+  }
+}
+
+// A/B the fused warp primitives through the runtime switch: same inputs,
+// same Device, scalar and vector engines must agree lane for lane.  In a
+// scalar-only build set_enabled is a no-op and both runs take the
+// reference path.
+TEST(SimdLaneEngine, FusedWarpOpsBitIdenticalAcrossEngines) {
+  const bool was_enabled = sim::simd::enabled();
+  std::mt19937 rng(777);
+  sim::Device dev;
+  sim::Warp w(dev, 0);
+  for (u32 m : {1u, 2u, 3u, 5u, 8u, 17u, 32u}) {
+    for (int trial = 0; trial < 50; ++trial) {
+      LaneArray<u32> bucket;
+      for (u32 i = 0; i < kWarpSize; ++i) bucket[i] = rng() % m;
+      const LaneMask valid =
+          trial < 6 ? kEdgeMasks[trial] : static_cast<LaneMask>(rng());
+      if (valid == 0) continue;  // warp ops require at least one lane
+      sim::simd::set_enabled(false);
+      const auto h_s = prim::warp_histogram(w, bucket, m, valid);
+      const auto o_s = prim::warp_offsets(w, bucket, m, valid);
+      const auto r_s = prim::warp_rank(w, bucket, m, valid);
+      sim::simd::set_enabled(true);
+      const auto h_v = prim::warp_histogram(w, bucket, m, valid);
+      const auto o_v = prim::warp_offsets(w, bucket, m, valid);
+      const auto r_v = prim::warp_rank(w, bucket, m, valid);
+      for (u32 i = 0; i < kWarpSize; ++i) {
+        ASSERT_EQ(h_s[i], h_v[i]) << "histogram lane " << i << " m=" << m;
+        ASSERT_EQ(r_s.histogram[i], r_v.histogram[i]) << "rank.hist " << i;
+      }
+      for_each_lane(valid, [&](u32 i) {
+        ASSERT_EQ(o_s[i], o_v[i]) << "offsets lane " << i << " m=" << m;
+        ASSERT_EQ(r_s.offsets[i], r_v.offsets[i]) << "rank.off " << i;
+      });
+    }
+  }
+  sim::simd::set_enabled(was_enabled);
 }
 
 }  // namespace

@@ -203,6 +203,9 @@ def cmd_record(argv):
                         or (os.cpu_count() or 1),
         "results": [],
     }
+    # Additive provenance (never compared): which host lane engine ran.
+    if "host_simd" in report:
+        entry["host_simd"] = report["host_simd"]
     if latency is not None:
         entry["latency"] = latency
     # Resilience digest (v7): the executor-side accounting worth trending.

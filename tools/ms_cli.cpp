@@ -810,6 +810,7 @@ int main(int argc, char** argv) {
   if (argc > 1 && (!std::strcmp(argv[1], "--version") ||
                    !std::strcmp(argv[1], "-V"))) {
     std::printf("ms_cli report schema v%u\n", sim::kReportSchemaVersion);
+    std::printf("host_simd %s\n", sim::simd::backend_name());
     return 0;
   }
   if (argc > 1 && !std::strcmp(argv[1], "diff")) {
