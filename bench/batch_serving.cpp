@@ -1,0 +1,282 @@
+// Batched-serving bench: requests/sec of the ServingExecutor across batch
+// sizes {1, 8, 64, 512, 4096} against the sequential one-launch-sequence-
+// per-request plan path.
+//
+// The workload is the serving shape the executor exists for: thousands of
+// TINY multisplits (n <= 1024, m <= 32, Method::kAuto) where the 5 us
+// kernel-launch overhead dominates each sequential request.  The executor
+// packs them one-per-warp (or four-per-warp for the n <= 8, m <= 8
+// sub-warp class) into fused launches, so a whole batch shares one launch
+// sequence and the modeled launch-overhead share collapses.
+//
+// Tolerance-0 gates enforced on every run (the smoke test runs --n 14):
+//   - every batched request's output (keys + bucket_offsets) and
+//     method_selected equal the sequential plan path's, bit for bit;
+//   - every request's reported modeled cost is IDENTICAL (f64-bitwise)
+//     at every batch size -- the closed-form per-problem cost depends
+//     only on the problem, never on its batch;
+//   - requests/sec at batch 4096 >= 5x batch 1, with the launch-overhead
+//     share strictly collapsing versus one launch sequence per request.
+#include <cinttypes>
+
+#include "bench_common.hpp"
+#include "multisplit/serving.hpp"
+#include "sim/span.hpp"
+
+using namespace ms;
+using namespace ms::bench;
+
+namespace {
+
+struct Request {
+  std::vector<u32> keys;
+  u32 m = 0;
+};
+
+/// Per-request reference record used for the tolerance-0 comparisons.
+struct RequestRef {
+  std::vector<u32> keys_out;
+  std::vector<u32> offsets;
+  split::Method selected = split::Method::kAuto;
+  f64 cost_ms = 0.0;
+};
+
+struct ModeStats {
+  f64 total_ms = 0.0;  ///< modeled time of the whole request stream
+  f64 requests_per_sec = 0.0;  ///< requests per modeled second
+  f64 launch_overhead_pct = 0.0;
+  f64 host_ms = 0.0;  ///< simulator wall clock (not modeled)
+  u64 launches = 0;
+  sim::BatchStats batching;
+};
+
+/// The mixed tiny-problem request stream: n cycles {5,8,32,96,256,1024},
+/// m cycles {2,3,4,8,16,32} on a longer period, so sub-warp, warp-packed
+/// and both kAuto resolutions (warp-level and block-level) all appear in
+/// every batch.
+std::vector<Request> make_requests(u64 count) {
+  static constexpr u64 kNs[] = {5, 8, 32, 96, 256, 1024};
+  static constexpr u32 kMs[] = {2, 3, 4, 8, 16, 32};
+  std::vector<Request> reqs(count);
+  workload::WorkloadConfig wc;
+  for (u64 i = 0; i < count; ++i) {
+    reqs[i].m = kMs[(i / 6) % 6];
+    wc.m = reqs[i].m;
+    wc.seed = 0xABCDE + i * 7919;
+    reqs[i].keys = workload::generate_keys(kNs[i % 6], wc);
+  }
+  return reqs;
+}
+
+/// Sequential baseline: one plan + one launch sequence per request, the
+/// exact path a caller without the executor uses (type-erased run, like
+/// the executor's unpacked fallback).
+ModeStats run_sequential(const Options& opt, const std::vector<Request>& reqs,
+                         std::vector<RequestRef>& refs) {
+  sim::Device dev(opt.profile());
+  refs.resize(reqs.size());
+  const auto host_t0 = std::chrono::steady_clock::now();
+  for (u64 i = 0; i < reqs.size(); ++i) {
+    const Request& q = reqs[i];
+    sim::DeviceBuffer<u32> in(dev, std::span<const u32>(q.keys));
+    sim::DeviceBuffer<u32> out(dev, q.keys.size());
+    split::MultisplitConfig cfg;
+    cfg.method = split::Method::kAuto;
+    const split::MultisplitPlan plan(dev, q.keys.size(), q.m, cfg);
+    const split::BucketFunction fn = split::RangeBucket{q.m};
+    const split::MultisplitResult r = plan.run(in, out, fn);
+    const std::span<const u32> ho = std::as_const(out).host();
+    refs[i].keys_out.assign(ho.begin(), ho.end());
+    refs[i].offsets = r.bucket_offsets;
+    refs[i].selected = r.method_selected;
+    refs[i].cost_ms = r.total_ms();
+  }
+  const auto host_t1 = std::chrono::steady_clock::now();
+  ModeStats s;
+  s.host_ms =
+      std::chrono::duration<f64, std::milli>(host_t1 - host_t0).count();
+  s.total_ms = dev.lifetime_ms();
+  s.requests_per_sec =
+      static_cast<f64>(reqs.size()) / (s.total_ms * 1e-3);
+  sim::MetricsReport rep = sim::analyze_device(dev);
+  s.launch_overhead_pct = rep.aggregate.launch_overhead_pct;
+  s.launches = rep.launches;
+  return s;
+}
+
+/// One serving pass: submit the whole stream through a ServingExecutor
+/// with max_batch = B, drain, and collect every result.
+ModeStats run_serving(const Options& opt, const std::vector<Request>& reqs,
+                      u32 batch, std::vector<RequestRef>& refs,
+                      bool instrument) {
+  sim::Device dev(opt.profile());
+  const bool telemetered = instrument && !opt.telemetry_path.empty();
+  if (telemetered) dev.enable_telemetry();
+  const bool spanned = instrument && !opt.spans_path.empty();
+  if (spanned) dev.enable_spans();
+  split::ServingPolicy policy;
+  policy.max_batch = batch;
+  policy.max_linger_ms = 1e9;  // flush on size only: the stream is dense
+  split::ServingExecutor exec(dev, policy);
+
+  refs.resize(reqs.size());
+  std::vector<split::ServeTicket> tickets(reqs.size());
+  const auto host_t0 = std::chrono::steady_clock::now();
+  for (u64 i = 0; i < reqs.size(); ++i) {
+    tickets[i] = exec.submit(reqs[i].keys, reqs[i].m,
+                             split::RangeBucket{reqs[i].m});
+  }
+  exec.drain();
+  for (u64 i = 0; i < reqs.size(); ++i) {
+    check(exec.ready(tickets[i]), "batch_serving: request did not execute");
+    const split::ServeResult& r = exec.get(tickets[i]);
+    check(!r.failed, "batch_serving: request failed in a clean run");
+    refs[i].keys_out = r.keys_out;
+    refs[i].offsets = r.bucket_offsets;
+    refs[i].selected = r.method_selected;
+    refs[i].cost_ms = r.modeled_cost_ms;
+  }
+  const auto host_t1 = std::chrono::steady_clock::now();
+
+  ModeStats s;
+  s.host_ms =
+      std::chrono::duration<f64, std::milli>(host_t1 - host_t0).count();
+  s.total_ms = dev.lifetime_ms();
+  s.requests_per_sec =
+      static_cast<f64>(reqs.size()) / (s.total_ms * 1e-3);
+  sim::MetricsReport rep = sim::analyze_device(dev);
+  s.launch_overhead_pct = rep.aggregate.launch_overhead_pct;
+  s.launches = rep.launches;
+  s.batching = dev.batch_stats();
+
+  if (!opt.trace_path.empty() && !opt.trace_written && instrument) {
+    opt.trace_written = sim::write_chrome_trace_file(dev, opt.trace_path);
+  }
+  if (telemetered) {
+    dev.telemetry()->sample_now();
+    opt.telemetry_written = sim::write_timeline_jsonl_file(
+        opt.telemetry_path, *dev.telemetry(), "batch_serving",
+        opt.profile().name);
+    check(opt.telemetry_written, "batch_serving: cannot write --telemetry");
+  }
+  if (spanned) {
+    opt.spans_written = sim::write_spans_jsonl_file(
+        opt.spans_path, *dev.spans(), "batch_serving", opt.profile().name);
+    check(opt.spans_written, "batch_serving: cannot write --spans");
+  }
+  return s;
+}
+
+void write_row(JsonReport& report, const std::string& mode, u64 requests,
+               const ModeStats& s) {
+  if (!report.enabled()) return;
+  auto& w = report.writer();
+  w.begin_object();
+  w.field("method", mode);  // identity key: one row per mode
+  w.field("requests", requests);
+  w.field("total_ms", s.total_ms);
+  w.field("requests_per_sec", s.requests_per_sec);
+  w.field("launch_overhead_pct", s.launch_overhead_pct);
+  w.field("launches", s.launches);
+  w.field("host_ms", s.host_ms);
+  w.key("batching").begin_object();
+  w.field("batches", s.batching.batches);
+  w.field("packed_problems", s.batching.packed_problems);
+  w.field("unpacked_problems", s.batching.unpacked_problems);
+  w.field("fused_launches", s.batching.fused_launches);
+  w.field("fill_ratio", s.batching.fill_ratio());
+  w.field("problems_retried", s.batching.problems_retried);
+  w.end_object();
+  w.end_object();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = Options::parse(argc, argv, /*default=*/14, /*paper=*/14,
+                                     /*machine_readable=*/true);
+  opt.print_header(
+      "Batched serving: fused sub-warp packing vs per-request launches");
+  JsonReport report(opt, "batch_serving");
+
+  // 4096 requests at the default size; --n scales the stream length.
+  const u64 requests = std::max<u64>(64, opt.n() / 4);
+  const std::vector<Request> reqs = make_requests(requests);
+  u64 total_keys = 0;
+  for (const Request& q : reqs) total_keys += q.keys.size();
+  std::printf("requests: %" PRIu64 " | keys: %" PRIu64
+              " | shapes: n in {5..1024}, m in {2..32}, method auto\n\n",
+              requests, total_keys);
+
+  std::vector<RequestRef> seq_refs;
+  const ModeStats seq = run_sequential(opt, reqs, seq_refs);
+
+  std::vector<u32> batch_sizes;
+  for (const u32 b : {1u, 8u, 64u, 512u, 4096u}) {
+    if (b <= requests || batch_sizes.empty() || batch_sizes.back() < requests)
+      batch_sizes.push_back(b);
+  }
+  std::printf("%-12s %12s %12s %10s %10s %8s\n", "mode", "total ms",
+              "req/s", "launches", "launch%", "fill");
+  std::printf("%-12s %12.3f %12.0f %10" PRIu64 " %9.1f%% %8s\n", "sequential",
+              seq.total_ms, seq.requests_per_sec, seq.launches,
+              seq.launch_overhead_pct, "-");
+
+  std::vector<RequestRef> base_refs;  // batch-1 serving: the unbatched path
+  ModeStats base{}, top{};
+  for (u64 bi = 0; bi < batch_sizes.size(); ++bi) {
+    const u32 b = batch_sizes[bi];
+    std::vector<RequestRef> refs;
+    const bool last = bi + 1 == batch_sizes.size();
+    const ModeStats s = run_serving(opt, reqs, b, refs, /*instrument=*/last);
+    std::printf("%-12s %12.3f %12.0f %10" PRIu64 " %9.1f%% %7.2f%%\n",
+                ("batch" + std::to_string(b)).c_str(), s.total_ms,
+                s.requests_per_sec, s.launches, s.launch_overhead_pct,
+                100.0 * s.batching.fill_ratio());
+    write_row(report, "batch" + std::to_string(b), requests, s);
+
+    // Tolerance-0 gate 1: batched outputs and method selection equal the
+    // sequential plan path's, request by request, bit for bit.
+    for (u64 i = 0; i < requests; ++i) {
+      check(refs[i].keys_out == seq_refs[i].keys_out,
+            "batch_serving: batched output diverges from sequential");
+      check(refs[i].offsets == seq_refs[i].offsets,
+            "batch_serving: batched offsets diverge from sequential");
+      check(refs[i].selected == seq_refs[i].selected,
+            "batch_serving: method_selected diverges from sequential");
+    }
+    // Tolerance-0 gate 2: the reported per-problem modeled cost is
+    // f64-identical at every batch size (closed form in the problem's own
+    // shape; batch composition must not leak in).
+    if (b == batch_sizes.front()) {
+      base_refs = std::move(refs);
+      base = s;
+    } else {
+      for (u64 i = 0; i < requests; ++i) {
+        check(refs[i].cost_ms == base_refs[i].cost_ms,
+              "batch_serving: per-problem modeled cost depends on batch");
+      }
+    }
+    if (last) top = s;
+  }
+
+  write_row(report, "sequential", requests, seq);
+
+  const f64 speedup = top.requests_per_sec / base.requests_per_sec;
+  std::printf(
+      "\nbatch %u vs batch 1: x%.1f requests/sec | launch share %.1f%% -> "
+      "%.1f%% (sequential %.1f%%)\n",
+      batch_sizes.back(), speedup, base.launch_overhead_pct,
+      top.launch_overhead_pct, seq.launch_overhead_pct);
+
+  // The headline claims, enforced so the smoke test gates them.
+  check(speedup >= 5.0,
+        "batch_serving: batching did not reach 5x requests/sec");
+  check(top.launch_overhead_pct < seq.launch_overhead_pct,
+        "batch_serving: launch share did not collapse vs sequential");
+  check(top.launch_overhead_pct < base.launch_overhead_pct,
+        "batch_serving: launch share did not collapse vs batch 1");
+  check(top.batching.fill_ratio() > base.batching.fill_ratio(),
+        "batch_serving: packing fill ratio did not improve with batching");
+  return 0;
+}

@@ -111,6 +111,7 @@ const KernelRecord& Device::end_kernel() {
   // kernel -- and before the chaos hook, which may mutate buffers but
   // belongs to no launch.  Aborted launches reach here too (the launch
   // helpers' catch path calls end_kernel), so the span always closes.
+  last_launch_span_ = launch_span_;
   if (launch_span_ != 0) {
     close_span(launch_span_);
     launch_span_ = 0;

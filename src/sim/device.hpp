@@ -242,6 +242,12 @@ class Device {
   ResilienceStats& resilience_stats() { return res_stats_; }
   const ResilienceStats& resilience_stats() const { return res_stats_; }
 
+  /// Batched-serving accounting (ServingExecutor).  Lifetime totals;
+  /// all-zero on a device that never served batches -- the schema-v8
+  /// "batching" report block.
+  BatchStats& batch_stats() { return batch_stats_; }
+  const BatchStats& batch_stats() const { return batch_stats_; }
+
   // --- request-scoped span tracing (sim/span.hpp) ---
   /// Attach a span recorder.  Plan executions then open request /
   /// attempt / stage spans and every kernel launch inside a request gets
@@ -262,6 +268,11 @@ class Device {
   void close_span(u64 id) {
     spans_->end(id, lifetime_ms_, span_counters_now());
   }
+  /// Launch span id of the most recently completed kernel, 0 when that
+  /// kernel ran untraced.  Valid until the next launch begins; the
+  /// serving executor uses it to nest per-problem spans under the fused
+  /// launch that carried them.
+  u64 last_launch_span() const { return last_launch_span_; }
   /// Snapshot of the lifetime counters spans track as deltas.
   SpanCounters span_counters_now() const {
     return SpanCounters{lifetime_launches_, lifetime_l2_read_segments_,
@@ -375,6 +386,12 @@ class Device {
   /// Launch span of the kernel currently executing (0 when none: tracing
   /// off, or the launch happened outside a request span).
   u64 launch_span_ = 0;
+  /// Launch span of the most recently *completed* kernel (saved at
+  /// end_kernel before launch_span_ resets).  The batched serving
+  /// executor reads this to parent per-problem spans under their fused
+  /// launch after the launch closes.
+  u64 last_launch_span_ = 0;
+  BatchStats batch_stats_;
   /// Lifetime accumulators (updated at end_kernel; survive reset_stats).
   f64 lifetime_ms_ = 0.0;
   u64 lifetime_launches_ = 0;

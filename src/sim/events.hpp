@@ -141,6 +141,28 @@ struct KernelRecord {
   std::vector<std::pair<u32, KernelEvents>> sites;
 };
 
+/// Batched-serving accounting, surfaced through MetricsReport and the
+/// schema-v8 "batching" JSON block.  Bumped by the ServingExecutor
+/// (multisplit/serving.cpp) on the device it serves; devices that never
+/// serve batches report all-zero.
+struct BatchStats {
+  u64 batches = 0;          ///< flushes that executed at least one problem
+  u64 packed_problems = 0;  ///< problems routed through fused packed launches
+  u64 unpacked_problems = 0;  ///< problems that fell back to plan.run()
+  u64 fused_launches = 0;   ///< fused kernel launches issued
+  u64 slots_filled = 0;     ///< sub-warp/warp slots carrying a problem
+  u64 slots_total = 0;      ///< slots available across fused launches
+  u64 problems_retried = 0; ///< problems re-packed after a faulted launch
+
+  /// Fill ratio of the packed launches (1.0 when every slot carried a
+  /// problem); 0 when nothing was packed.
+  f64 fill_ratio() const {
+    return slots_total == 0
+               ? 0.0
+               : static_cast<f64>(slots_filled) / static_cast<f64>(slots_total);
+  }
+};
+
 /// Aggregate of a sequence of kernels (e.g., one multisplit stage).
 struct TimingSummary {
   f64 total_ms = 0.0;

@@ -340,6 +340,7 @@ MetricsReport analyze_device(Device& dev, const RuleThresholds& th) {
   rep.device = p.name;
   rep.allocator = dev.allocator().stats();
   rep.resilience = dev.resilience_stats();
+  rep.batching = dev.batch_stats();
 
   f64 mem_sum = 0.0, issue_sum = 0.0;
   u32 run_peak = 0;
@@ -562,6 +563,21 @@ void write_metrics_json(JsonWriter& w, const MetricsReport& rep) {
   w.field("validation_failures", rep.resilience.validation_failures);
   w.field("recovered", rep.resilience.recovered);
   w.field("lost", rep.resilience.lost);
+  w.end_object();
+
+  // Batched-serving accounting (schema v8).  All zeros when the device
+  // never served batches, so the tolerance-0 gates compare the block
+  // exactly on existing benches.
+  w.key("batching");
+  w.begin_object();
+  w.field("batches", rep.batching.batches);
+  w.field("packed_problems", rep.batching.packed_problems);
+  w.field("unpacked_problems", rep.batching.unpacked_problems);
+  w.field("fused_launches", rep.batching.fused_launches);
+  w.field("slots_filled", rep.batching.slots_filled);
+  w.field("slots_total", rep.batching.slots_total);
+  w.field("fill_ratio", rep.batching.fill_ratio());
+  w.field("problems_retried", rep.batching.problems_retried);
   w.end_object();
 
   w.key("kernels");

@@ -58,7 +58,12 @@ class Device;
 /// telemetry timeline histograms gain optional exemplar trace-id fields
 /// (p50_trace/p95_trace/p99_trace/p999_trace/max_trace, present only when
 /// a traced request landed in the percentile's bucket).
-inline constexpr u32 kReportSchemaVersion = 7;
+/// v8: reports gain the batched-serving block ("batching": batches,
+/// packed/unpacked problem counts, fused launches, slot fill ratio and
+/// partial-batch retries from the ServingExecutor; all zeros when the
+/// device never served batches).  No existing field changed meaning:
+/// modeled values are bit-identical to v7 on every existing bench.
+inline constexpr u32 kReportSchemaVersion = 8;
 
 /// Which modeled pipe a kernel (or run) saturates.  Classified with a 5%
 /// margin: within it the two pipes are "balanced".
@@ -198,6 +203,7 @@ struct MetricsReport {
   DerivedMetrics aggregate;
   AllocatorStats allocator;                 // device-lifetime pool stats
   ResilienceStats resilience;               // chaos + retry accounting (v6)
+  BatchStats batching;                      // batched-serving accounting (v8)
   std::vector<KernelGroupMetrics> kernels;  // first-launch order
   std::vector<SiteMetrics> sites;           // registration order, non-empty
   std::vector<Diagnosis> diagnoses;         // most severe first

@@ -54,6 +54,28 @@ void SpanRecorder::end(u64 id, f64 now_ms, const SpanCounters& snap) {
   host_begin_.pop_back();
 }
 
+u64 SpanRecorder::insert_closed(SpanKind kind, std::string name, u64 parent_id,
+                                f64 begin_ms, f64 end_ms,
+                                const SpanCounters& delta,
+                                std::vector<SpanEvent> events) {
+  check(parent_id >= 1 && parent_id <= spans_.size(),
+        "span: insert_closed() under unknown parent");
+  SpanRecord r;
+  r.span_id = static_cast<u64>(spans_.size()) + 1;
+  r.parent_id = parent_id;
+  r.trace_id = kind == SpanKind::kRequest ? ++next_trace_
+                                          : spans_[parent_id - 1].trace_id;
+  r.kind = kind;
+  r.name = std::move(name);
+  r.begin_ms = begin_ms;
+  r.end_ms = end_ms;
+  r.counters = delta;  // already a delta: no open snapshot to subtract
+  r.events = std::move(events);
+  r.closed = true;
+  spans_.push_back(std::move(r));
+  return spans_.back().span_id;
+}
+
 void SpanRecorder::event(SpanEvent ev) {
   if (stack_.empty()) return;
   mut(stack_.back()).events.push_back(std::move(ev));

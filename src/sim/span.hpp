@@ -117,6 +117,17 @@ class SpanRecorder {
   /// strictly nest).  Stores end time, counter deltas and host wall.
   void end(u64 id, f64 now_ms, const SpanCounters& snap);
 
+  /// Append an already-closed span under an explicit parent, bypassing
+  /// the open-span stack.  The batched serving executor uses this to
+  /// attribute per-problem sub-intervals of a fused launch after the
+  /// launch span itself has closed: the per-problem kRequest spans draw
+  /// fresh trace ids (they ARE independent requests), every other kind
+  /// inherits the parent's trace.  `parent_id` must name a recorded
+  /// span.  Returns the new span's id.
+  u64 insert_closed(SpanKind kind, std::string name, u64 parent_id,
+                    f64 begin_ms, f64 end_ms, const SpanCounters& delta,
+                    std::vector<SpanEvent> events = {});
+
   /// Attach an event to the innermost open span (dropped when no span is
   /// open -- events outside any request are not part of a trace).
   void event(SpanEvent ev);

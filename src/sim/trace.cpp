@@ -287,6 +287,33 @@ void write_chrome_trace(Device& dev, std::ostream& os) {
           break;
         }
       }
+      // Batched serving inverts the nesting: per-problem request spans sit
+      // UNDER their fused launch span.  Draw the flow the other way --
+      // start on the launch, finish on each packed per-problem request --
+      // so Perfetto still shows the launch -> request fan-out.
+      if (s.kind == SpanKind::kRequest && s.parent_id != 0 &&
+          spans[s.parent_id - 1].kind == SpanKind::kLaunch) {
+        const SpanRecord& launch = spans[s.parent_id - 1];
+        w.begin_object()
+            .field("ph", "s")
+            .field("pid", u64{0})
+            .field("tid", static_cast<u64>(kTidSpans))
+            .field("name", "batch flow")
+            .field("cat", "span")
+            .field("id", s.span_id)
+            .field("ts", launch.begin_ms * 1e3)
+            .end_object();
+        w.begin_object()
+            .field("ph", "f")
+            .field("bp", "e")
+            .field("pid", u64{0})
+            .field("tid", static_cast<u64>(kTidSpans))
+            .field("name", "batch flow")
+            .field("cat", "span")
+            .field("id", s.span_id)
+            .field("ts", ts)
+            .end_object();
+      }
     }
   }
 

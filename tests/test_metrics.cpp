@@ -349,7 +349,7 @@ TEST(DivergenceCounters, ChargeIsNotASimtInstruction) {
 // ---------------------------------------------------------------------------
 
 TEST(ReportDiff, IdenticalReportsHaveZeroFindings) {
-  const char* doc = R"({"schema_version":7,"device":"k40c","results":[
+  const char* doc = R"({"schema_version":8,"device":"k40c","results":[
     {"method":"X","m":8,"key_value":true,"total_ms":1.5,
      "sites":[{"label":"a","dram_read_tx":100},
               {"label":"b","dram_read_tx":7}]}]})";
@@ -360,10 +360,10 @@ TEST(ReportDiff, IdenticalReportsHaveZeroFindings) {
 }
 
 TEST(ReportDiff, EditedCounterNamesRowSiteAndMetric) {
-  const char* base = R"({"schema_version":7,"results":[
+  const char* base = R"({"schema_version":8,"results":[
     {"method":"Warp-level MS","m":8,"key_value":true,
      "sites":[{"label":"warp_ms/postscan_scatter","dram_read_tx":2948}]}]})";
-  const char* cur = R"({"schema_version":7,"results":[
+  const char* cur = R"({"schema_version":8,"results":[
     {"method":"Warp-level MS","m":8,"key_value":true,
      "sites":[{"label":"warp_ms/postscan_scatter","dram_read_tx":2950}]}]})";
   const DiffResult r = diff_reports(parse_json(base), parse_json(cur));
@@ -376,9 +376,9 @@ TEST(ReportDiff, EditedCounterNamesRowSiteAndMetric) {
 }
 
 TEST(ReportDiff, ToleranceSuppressesSmallDrift) {
-  const char* base = R"({"schema_version":7,"results":[
+  const char* base = R"({"schema_version":8,"results":[
     {"name":"k","time_ms":100.0}]})";
-  const char* cur = R"({"schema_version":7,"results":[
+  const char* cur = R"({"schema_version":8,"results":[
     {"name":"k","time_ms":100.5}]})";
   DiffOptions opts;
   opts.tolerance = 0.01;  // 1% allowed; drift here is ~0.5%
@@ -395,10 +395,10 @@ TEST(ReportDiff, ToleranceSuppressesSmallDrift) {
 }
 
 TEST(ReportDiff, RowOrderDoesNotMatter) {
-  const char* base = R"({"schema_version":7,"results":[
+  const char* base = R"({"schema_version":8,"results":[
     {"method":"A","m":2,"key_value":false,"total_ms":1.0},
     {"method":"B","m":2,"key_value":false,"total_ms":2.0}]})";
-  const char* cur = R"({"schema_version":7,"results":[
+  const char* cur = R"({"schema_version":8,"results":[
     {"method":"B","m":2,"key_value":false,"total_ms":2.0},
     {"method":"A","m":2,"key_value":false,"total_ms":1.0}]})";
   EXPECT_EQ(diff_reports(parse_json(base), parse_json(cur)).total_findings,
@@ -406,10 +406,10 @@ TEST(ReportDiff, RowOrderDoesNotMatter) {
 }
 
 TEST(ReportDiff, MissingRowsAndMembersAreFindings) {
-  const char* base = R"({"schema_version":7,"total_ms":3.0,"results":[
+  const char* base = R"({"schema_version":8,"total_ms":3.0,"results":[
     {"method":"A","m":2,"key_value":false,"total_ms":1.0},
     {"method":"B","m":2,"key_value":false,"total_ms":2.0}]})";
-  const char* cur = R"({"schema_version":7,"results":[
+  const char* cur = R"({"schema_version":8,"results":[
     {"method":"A","m":2,"key_value":false,"total_ms":1.0},
     {"method":"C","m":2,"key_value":false,"total_ms":9.0}]})";
   const DiffResult r = diff_reports(parse_json(base), parse_json(cur));
@@ -432,8 +432,8 @@ TEST(ReportDiff, MissingRowsAndMembersAreFindings) {
 }
 
 TEST(ReportDiff, PositionalArraysCompareByIndex) {
-  const char* base = R"({"schema_version":7,"xs":[1,2,3]})";
-  const char* cur = R"({"schema_version":7,"xs":[1,2,4,5]})";
+  const char* base = R"({"schema_version":8,"xs":[1,2,3]})";
+  const char* cur = R"({"schema_version":8,"xs":[1,2,4,5]})";
   const DiffResult r = diff_reports(parse_json(base), parse_json(cur));
   ASSERT_EQ(r.findings.size(), 2u);
   EXPECT_EQ(r.findings[0].path, "xs[2]");
@@ -441,7 +441,7 @@ TEST(ReportDiff, PositionalArraysCompareByIndex) {
 }
 
 TEST(ReportDiff, SchemaVersionIsEnforced) {
-  const char* cur = R"({"schema_version":7,"x":1})";
+  const char* cur = R"({"schema_version":8,"x":1})";
   const char* old = R"({"schema_version":4,"x":1})";
   const char* none = R"({"x":1})";
   EXPECT_THROW(diff_reports(parse_json(none), parse_json(cur)),
@@ -460,9 +460,9 @@ TEST(ReportDiff, HostTimeFieldsAreNeverCompared) {
   // Host wall-clock is nondeterministic by nature; any key starting with
   // "host_" is excluded from the diff in both directions (extra, missing,
   // or changed).
-  const char* base = R"({"schema_version":7,"total_ms":3.0,"results":[
+  const char* base = R"({"schema_version":8,"total_ms":3.0,"results":[
       {"method":"warp","host_ms":12.5,"host_keys_per_sec":1e8}]})";
-  const char* cur = R"({"schema_version":7,"total_ms":3.0,"results":[
+  const char* cur = R"({"schema_version":8,"total_ms":3.0,"results":[
       {"method":"warp","host_ms":99.0}]})";
   const DiffResult r = diff_reports(parse_json(base), parse_json(cur));
   EXPECT_EQ(r.findings.size(), 0u)
@@ -470,7 +470,7 @@ TEST(ReportDiff, HostTimeFieldsAreNeverCompared) {
 }
 
 TEST(ReportDiff, FindingCapKeepsTotalCount) {
-  std::string base = R"({"schema_version":7,"xs":[)";
+  std::string base = R"({"schema_version":8,"xs":[)";
   std::string cur = base;
   for (int i = 0; i < 20; ++i) {
     base += (i ? "," : "") + std::to_string(i);

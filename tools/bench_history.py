@@ -29,9 +29,10 @@ from pathlib import Path
 # older stamps stay readable as long as the record fields are unchanged:
 # v6 only added the "resilience" block to metrics reports and v7 only
 # touched span dumps / timeline exemplars -- history rows carry the same
-# fields as v5.
-SCHEMA_VERSION = 7
-COMPATIBLE_VERSIONS = (5, 6, 7)
+# fields as v5.  v8 adds the "batching" block and serving rows'
+# requests_per_sec; every earlier field is unchanged.
+SCHEMA_VERSION = 8
+COMPATIBLE_VERSIONS = (5, 6, 7, 8)
 
 REQUIRED_FIELDS = (
     "history", "schema_version", "utc", "git_sha", "bench", "device",
@@ -71,7 +72,10 @@ def load_history(path):
 
 
 def headline(row):
-    """Headline metric of one result row, preferring throughput."""
+    """Headline metric of one result row, preferring throughput.  Serving
+    rows (v8) lead with request throughput."""
+    if "requests_per_sec" in row:
+        return row["requests_per_sec"], "req/s"
     if "rate_gkeys" in row:
         return row["rate_gkeys"], "Gkeys/s"
     if "steady_ms" in row:
@@ -144,6 +148,23 @@ def summarize_file(path):
                          and len(entries) > 1 else f"{k} {l_val}")
         if parts:
             print(f"  resilience: {', '.join(parts)}")
+
+    # Batching digest (v8 records): serving-executor packing pressure of
+    # the latest run (top-level for ms_cli-style reports, else the densest
+    # per-row block a serving bench recorded).
+    bat = last.get("batching")
+    if not bat:
+        rows = [r.get("batching") for r in last["results"]
+                if isinstance(r.get("batching"), dict)]
+        bat = max(rows, key=lambda b: b.get("batches", 0), default=None)
+    if bat:
+        fill = bat.get("fill_ratio")
+        fill_txt = f", fill {fill * 100.0:.1f}%" if fill is not None else ""
+        print(f"  batching: {bat.get('batches', 0)} batch(es), "
+              f"{bat.get('packed_problems', 0)} packed / "
+              f"{bat.get('unpacked_problems', 0)} unpacked, "
+              f"{bat.get('fused_launches', 0)} fused launch(es)"
+              f"{fill_txt}")
 
 
 def main():

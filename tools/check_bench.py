@@ -52,7 +52,11 @@ from pathlib import Path
 # v7: span dumps (--spans JSONL) carry the same stamp and telemetry
 # timelines gain optional exemplar trace-id fields; bench report fields are
 # unchanged, so comparisons are unaffected.
-SCHEMA_VERSION = 7
+# v8: reports carry the "batching" block (serving-executor batch/packing
+# stats) and serving benches report requests_per_sec headline rows.  All
+# zeros outside serving runs; no existing field changed meaning, so v7
+# modeled values are bit-identical under v8.
+SCHEMA_VERSION = 8
 
 # Per-site counters compared exactly under --sites.  Integer event counts:
 # any deviation is a real behavior change, never rounding.
@@ -87,7 +91,10 @@ def load_results(doc):
 
 def headline(row):
     """The row's headline metric: throughput when present, time otherwise
-    (the table4 stage-breakdown report has no rate column)."""
+    (the table4 stage-breakdown report has no rate column).  Serving rows
+    (v8) lead with request throughput."""
+    if "requests_per_sec" in row:
+        return row["requests_per_sec"], "req/s"
     if "rate_gkeys" in row:
         return row["rate_gkeys"], "Gkeys/s"
     return row["total_ms"], "ms"
@@ -216,12 +223,21 @@ def cmd_record(argv):
         entry["resilience"] = {k: res[k] for k in (
             "requests", "faults_observed", "retries", "fallbacks",
             "recovered", "lost") if k in res}
+    # Batching digest (v8): serving-executor packing pressure over time.
+    bat = report.get("batching")
+    if bat is not None and bat.get("batches", 0) > 0:
+        entry["batching"] = {k: bat[k] for k in (
+            "batches", "packed_problems", "unpacked_problems",
+            "fused_launches", "fill_ratio", "problems_retried") if k in bat}
     for row in report["results"]:
         rec = {k: row[k] for k in ("method", "m", "key_value") if k in row}
         for k in ("method_selected", "rate_gkeys", "total_ms", "steady_ms",
-                  "host_ms", "host_ms_min", "host_keys_per_sec"):
+                  "host_ms", "host_ms_min", "host_keys_per_sec",
+                  "requests_per_sec", "launch_overhead_pct"):
             if k in row:
                 rec[k] = row[k]
+        if isinstance(row.get("batching"), dict):
+            rec["batching"] = row["batching"]
         entry["results"].append(rec)
 
     history_dir.mkdir(parents=True, exist_ok=True)

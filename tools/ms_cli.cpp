@@ -20,6 +20,7 @@
 // 1 = drift found, 2 = unusable input (bad file / schema mismatch).
 #include <algorithm>
 #include <chrono>
+#include <cinttypes>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -33,6 +34,7 @@
 
 #include "multisplit/chaos_campaign.hpp"
 #include "multisplit/multisplit.hpp"
+#include "multisplit/serving.hpp"
 #include "multisplit/sort_baselines.hpp"
 #include "sim/cost_model.hpp"
 #include "sim/metrics.hpp"
@@ -62,9 +64,12 @@ const std::map<std::string, workload::Distribution> kDists = {
 
 void usage(const char* argv0) {
   std::printf(
-      "usage: %s [options]\n"
+      "usage: %s [run] [options]\n"
+      "       %s <subcommand> [args]   (run, metrics, diff, top, tail, "
+      "chaos, serve)\n"
+      "run options ('run' may be omitted):\n"
       "  --method <name|all>   auto (paper-guided selection) or one of:",
-      argv0);
+      argv0, argv0);
   for (const auto meth : concrete_methods())
     std::printf(" %s", split::method_token(meth).c_str());
   std::printf(
@@ -90,6 +95,8 @@ void usage(const char* argv0) {
       "  --list                list methods and exit\n"
       "  --version             print the report schema version and exit\n"
       "subcommands:\n"
+      "  run [options]         run one method on a synthetic workload (the\n"
+      "                        default when no subcommand is given)\n"
       "  metrics [options]     run and print the derived-metrics report\n"
       "                        (speed of light, coalescing, divergence,\n"
       "                        guided analysis)\n"
@@ -107,7 +114,14 @@ void usage(const char* argv0) {
       "                        run a deterministic fault-injection campaign\n"
       "                        over the resilient executor; exit 1 unless\n"
       "                        every injected fault was recovered or\n"
-      "                        surfaced as a structured error\n");
+      "                        surfaced as a structured error\n"
+      "  serve [--requests N] [--batch B] [--linger <ms>] [--seed <u64>]\n"
+      "        [--device k40c|750ti|sol]\n"
+      "                        drive the async batched serving executor\n"
+      "                        over a stream of tiny mixed-shape requests\n"
+      "                        (sub-warp/warp packing into fused launches)\n"
+      "                        and print the batching report; exit 1 if any\n"
+      "                        request failed\n");
 }
 
 struct Args {
@@ -804,6 +818,117 @@ int cmd_chaos(int argc, char** argv) {
   return rep.clean() ? 0 : 1;
 }
 
+/// `ms_cli serve [...]`: drive the async batched serving executor over a
+/// mixed stream of tiny multisplit requests and print the batching report.
+/// Exit 0 = every request served, 1 = failed requests, 2 = bad arguments.
+int cmd_serve(int argc, char** argv) {
+  u64 requests = 4096;
+  split::ServingPolicy policy;
+  u64 seed = 0xABCDE;
+  std::string device = "k40c";
+  for (int i = 1; i < argc; ++i) {
+    const auto next = [&]() -> std::optional<std::string> {
+      if (i + 1 >= argc) return std::nullopt;
+      return std::string(argv[++i]);
+    };
+    const std::string arg = argv[i];
+    std::optional<std::string> v;
+    if (arg == "--requests" && (v = next())) {
+      requests = std::stoull(*v);
+    } else if (arg == "--batch" && (v = next())) {
+      policy.max_batch = static_cast<u32>(std::stoul(*v));
+    } else if (arg == "--linger" && (v = next())) {
+      policy.max_linger_ms = std::stod(*v);
+    } else if (arg == "--seed" && (v = next())) {
+      seed = std::stoull(*v, nullptr, 0);
+    } else if (arg == "--device" && (v = next())) {
+      device = *v;
+    } else {
+      std::printf(
+          "serve: unknown or incomplete option '%s'\n"
+          "usage: ms_cli serve [--requests N] [--batch B] [--linger <ms>]\n"
+          "                    [--seed <u64>] [--device k40c|750ti|sol]\n",
+          arg.c_str());
+      return 2;
+    }
+  }
+  if (requests == 0 || policy.max_batch == 0) {
+    std::printf("serve: --requests and --batch must be >= 1\n");
+    return 2;
+  }
+  sim::DeviceProfile prof = sim::DeviceProfile::tesla_k40c();
+  if (device == "750ti") prof = sim::DeviceProfile::gtx_750_ti();
+  else if (device == "sol") prof = sim::DeviceProfile::speed_of_light();
+  else if (device != "k40c") {
+    std::printf("serve: unknown device '%s' (expected k40c, 750ti or sol)\n",
+                device.c_str());
+    return 2;
+  }
+  sim::Device dev(prof);
+  split::ServingExecutor exec(dev, policy);
+
+  // The serving-shape stream: tiny n, small m, every pack class
+  // represented (sub-warp, warp-packed, and the plan fallback).
+  static constexpr u64 kNs[] = {5, 8, 32, 96, 256, 1024};
+  static constexpr u32 kMs[] = {2, 3, 4, 8, 16, 32};
+  std::vector<split::ServeTicket> tickets;
+  tickets.reserve(requests);
+  workload::WorkloadConfig wc;
+  for (u64 i = 0; i < requests; ++i) {
+    const u32 m = kMs[(i / 6) % 6];
+    wc.m = m;
+    wc.seed = seed + i * 7919;
+    tickets.push_back(exec.submit(workload::generate_keys(kNs[i % 6], wc), m,
+                                  split::RangeBucket{m}));
+  }
+  exec.drain();
+
+  u64 failed = 0, packed = 0;
+  f64 packed_cost_ms = 0.0;
+  for (const auto t : tickets) {
+    const split::ServeResult& r = exec.get(t);
+    if (r.failed) {
+      if (failed == 0)
+        std::printf("serve: request %" PRIu64 " failed: %s\n", t,
+                    r.error.c_str());
+      ++failed;
+      continue;
+    }
+    if (r.packed) {
+      ++packed;
+      packed_cost_ms += r.modeled_cost_ms;
+    }
+  }
+  const sim::BatchStats& bs = dev.batch_stats();
+  const sim::MetricsReport rep = sim::analyze_device(dev);
+  const f64 total_ms = dev.lifetime_ms();
+  std::printf("serve: %" PRIu64 " requests, device %s, max_batch %u\n",
+              requests, device.c_str(), policy.max_batch);
+  std::printf("  batches            %" PRIu64 "\n", bs.batches);
+  std::printf("  fused launches     %" PRIu64 "\n", bs.fused_launches);
+  std::printf("  packed problems    %" PRIu64 "  (sub-warp/warp fused)\n",
+              bs.packed_problems);
+  std::printf("  unpacked problems  %" PRIu64 "  (plan fallback)\n",
+              bs.unpacked_problems);
+  std::printf("  slot fill ratio    %.1f%%\n", 100.0 * bs.fill_ratio());
+  std::printf("  retried problems   %" PRIu64 "\n", bs.problems_retried);
+  std::printf("  modeled time       %.3f ms  (%.0f requests/sec)\n", total_ms,
+              static_cast<f64>(requests) / (total_ms * 1e-3));
+  std::printf("  launch overhead    %.1f%% of modeled time (%" PRIu64
+              " launches)\n",
+              rep.aggregate.launch_overhead_pct, rep.launches);
+  std::printf("  packed cost        %.3f ms closed-form across %" PRIu64
+              " problems\n",
+              packed_cost_ms, packed);
+  if (failed > 0) {
+    std::printf("serve: %" PRIu64 " of %" PRIu64 " requests FAILED\n", failed,
+                requests);
+    return 1;
+  }
+  std::printf("serve: all requests served\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -825,16 +950,21 @@ int main(int argc, char** argv) {
   if (argc > 1 && !std::strcmp(argv[1], "chaos")) {
     return cmd_chaos(argc - 1, argv + 1);
   }
+  if (argc > 1 && !std::strcmp(argv[1], "serve")) {
+    return cmd_serve(argc - 1, argv + 1);
+  }
   Args a;
   int argi = 1;
   if (argc > 1 && !std::strcmp(argv[1], "metrics")) {
     a.metrics = true;
     argi = 2;
+  } else if (argc > 1 && !std::strcmp(argv[1], "run")) {
+    argi = 2;  // explicit form of the default subcommand
   } else if (argc > 1 && argv[1][0] != '-') {
     // A bare word that is not a known subcommand must not fall through to
     // flag parsing ("ms_cli metrcs" silently running the default method).
     std::printf("unknown subcommand '%s' (expected chaos, diff, metrics, "
-                "tail or top; try --help)\n",
+                "run, serve, tail or top; try --help)\n",
                 argv[1]);
     return 2;
   }
@@ -871,7 +1001,9 @@ int main(int argc, char** argv) {
       return 0;
     } else {
       usage(argv[0]);
-      return std::strcmp(argv[i], "--help") == 0 ? 0 : 1;
+      // --help exits 2 like every "did not run anything" path, so scripts
+      // can tell "printed usage" from "ran a workload" (0) / "failed" (1).
+      return std::strcmp(argv[i], "--help") == 0 ? 2 : 1;
     }
   }
   if (!kDists.contains(a.dist)) {

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Golden test for `ms_cli --help`.
+
+The top-level usage text is the CLI's table of contents: it must
+enumerate EVERY subcommand (run, metrics, diff, top, tail, chaos,
+serve) so none of them is discoverable only by reading the source, and
+`--help` must exit 2 -- the "printed usage, ran nothing" code shared
+with every other bad-invocation path -- so scripts can distinguish it
+from a successful run (0) and a failed one (1).
+
+Usage: test_help_golden.py <ms_cli-binary>
+"""
+
+import subprocess
+import sys
+
+SUBCOMMANDS = ["run", "metrics", "diff", "top", "tail", "chaos", "serve"]
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    ms_cli = sys.argv[1]
+    failures = []
+
+    proc = subprocess.run([ms_cli, "--help"], capture_output=True, text=True)
+    out = proc.stdout + proc.stderr
+    if proc.returncode != 2:
+        failures.append(f"--help: expected exit 2, got {proc.returncode}")
+    if "usage:" not in out:
+        failures.append("--help: output does not start a usage block")
+    # Every subcommand must appear both in the one-line synopsis and as a
+    # described entry in the subcommands section.
+    for sub in SUBCOMMANDS:
+        if out.count(sub) < 2:
+            failures.append(
+                f"--help: subcommand '{sub}' not enumerated in both the "
+                f"synopsis and the subcommands section")
+    if "subcommands:" not in out:
+        failures.append("--help: missing the 'subcommands:' section")
+
+    # An unknown flag prints the same usage but exits 1 (an error, not a
+    # help request).
+    proc = subprocess.run([ms_cli, "--definitely-not-a-flag"],
+                          capture_output=True, text=True)
+    if proc.returncode != 1:
+        failures.append(
+            f"unknown flag: expected exit 1, got {proc.returncode}")
+    if "usage:" not in proc.stdout + proc.stderr:
+        failures.append("unknown flag: usage text not printed")
+
+    if failures:
+        print("FAIL: ms_cli --help golden test:")
+        for f in failures:
+            print("  " + f)
+        print("---- captured --help output ----")
+        print(out)
+        return 1
+    print("OK: ms_cli --help enumerates every subcommand and exits 2")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
